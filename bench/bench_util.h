@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction harnesses.
+ */
+
+#ifndef ALASKA_BENCH_BENCH_UTIL_H
+#define ALASKA_BENCH_BENCH_UTIL_H
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "base/timer.h"
+
+namespace alaska::bench
+{
+
+/** Median-of-reps wall time of fn(scale), with one warmup run. */
+inline double
+timeKernel(int64_t (*fn)(size_t), size_t scale, int reps = 5)
+{
+    volatile int64_t sink = fn(scale); // warmup
+    (void)sink;
+    std::vector<double> times;
+    times.reserve(static_cast<size_t>(reps));
+    for (int r = 0; r < reps; r++) {
+        Stopwatch watch;
+        sink = fn(scale);
+        times.push_back(watch.elapsedSec());
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+/** Percent overhead of t over baseline. */
+inline double
+overheadPct(double baseline, double t)
+{
+    return (t / baseline - 1.0) * 100.0;
+}
+
+} // namespace alaska::bench
+
+#endif // ALASKA_BENCH_BENCH_UTIL_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 7: Alaska's end-to-end overhead (translation + pin tracking,
+ * no service exploitation — backing memory is plain malloc) on the
+ * benchmark kernel suite, as percent wall-clock increase over the raw
+ * baseline, with the per-suite layout and closing geomean row of the
+ * paper's figure.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/stats.h"
+#include "bench/bench_util.h"
+#include "core/malloc_service.h"
+#include "core/runtime.h"
+#include "kernels/registry.h"
+
+int
+main()
+{
+    using namespace alaska;
+    using namespace alaska::kernels;
+    using namespace alaska::bench;
+
+    std::printf("=== Figure 7: overhead of translation + tracking "
+                "(%% wall-clock increase vs raw pointers) ===\n");
+    std::printf("service: none (malloc backing), hoisting on, "
+                "tracking on\n\n");
+    std::printf("%-9s %-14s %10s %10s %9s   %s\n", "suite", "kernel",
+                "base(ms)", "alaska(ms)", "overhead",
+                "stands in for");
+
+    MallocService service;
+    Runtime runtime(RuntimeConfig{.tableCapacity = 1u << 22});
+    runtime.attachService(&service);
+    ThreadRegistration reg(runtime);
+
+    std::vector<double> ratios;
+    std::string last_suite;
+    for (const auto &entry : kernelRegistry()) {
+        const double base_s = timeKernel(entry.base, entry.scale);
+        const double alaska_s = timeKernel(entry.alaska, entry.scale);
+        const double pct = overheadPct(base_s, alaska_s);
+        ratios.push_back(alaska_s / base_s);
+        if (last_suite != entry.suite && !last_suite.empty())
+            std::printf("\n");
+        last_suite = entry.suite;
+        std::printf("%-9s %-14s %10.2f %10.2f %8.1f%%   (%s)\n",
+                    entry.suite, entry.name, base_s * 1e3,
+                    alaska_s * 1e3, pct, entry.standsFor);
+    }
+
+    const double gm = geomean(ratios);
+    std::printf("\n%-9s %-14s %32.1f%%\n", "ALL", "geomean",
+                (gm - 1.0) * 100.0);
+    std::printf("\npaper: geomean ~10%% (8%% excluding the "
+                "strict-aliasing outliers); near-zero for hoistable\n"
+                "numeric kernels, largest for pointer chasing "
+                "(mcf/xalancbmk/sglib analogues).\n");
+    return 0;
+}

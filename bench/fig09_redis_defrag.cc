@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 9 (and Figure 1): RSS of a Redis-like cache with maxmemory
+ * 100 MiB under LRU churn, for the four memory managers the paper
+ * compares: the non-moving baseline, Redis-style activedefrag over
+ * jemalloc hints, Mesh, and Anchorage. The headline: Anchorage — with
+ * zero application cooperation — reduces memory on par with the
+ * bespoke activedefrag (up to ~40% below baseline), while the
+ * baseline never recovers.
+ */
+
+#include <cstdio>
+
+#include "alloc_sim/jemalloc_model.h"
+#include "anchorage/alloc_model_adapter.h"
+#include "bench/frag_harness.h"
+#include "mesh/mesh_model.h"
+#include "sim/address_space.h"
+
+int
+main()
+{
+    using namespace alaska;
+    using namespace alaska::bench;
+
+    std::printf("=== Figure 9 (and Figure 1): Redis-cache RSS under "
+                "defragmentation ===\n");
+    std::printf("maxmemory 100 MiB, ~500 B values (drifting mix), "
+                "sampled-LRU eviction, 10 s of churn\n\n");
+
+    kv::CacheWorkloadConfig workload_config;
+    workload_config.maxMemory = 100 << 20;
+    workload_config.valueSize = 500;
+    workload_config.driftPeriod = 100000;
+
+    FragTimeline timeline;
+    timeline.seconds = 10.0;
+    timeline.tickSec = 0.1;
+    timeline.totalInserts = 1500000;
+
+    std::vector<FragCurve> curves;
+
+    { // Baseline: Redis's default allocator, no defragmentation.
+        VirtualClock clock;
+        JemallocModel model;
+        curves.push_back(runFragConfig(
+            "baseline", model, workload_config, timeline, clock,
+            [](kv::CacheWorkload &) {}));
+    }
+    { // activedefrag: 10 Hz hint-driven reallocation cycles.
+        VirtualClock clock;
+        JemallocModel model;
+        curves.push_back(runFragConfig(
+            "activedefrag", model, workload_config, timeline, clock,
+            [](kv::CacheWorkload &workload) {
+                workload.defragCycle(workload.liveRecords() / 3 + 1);
+            }));
+    }
+    { // Mesh: background meshing passes.
+        VirtualClock clock;
+        MeshModel model(2024);
+        model.setProbeBudget(256);
+        curves.push_back(runFragConfig(
+            "mesh", model, workload_config, timeline, clock,
+            [&model](kv::CacheWorkload &) { model.maintain(); }));
+    }
+    { // Anchorage: handles + controller, zero app cooperation.
+        VirtualClock clock;
+        PhantomAddressSpace space;
+        anchorage::ControlParams control;
+        control.useModeledTime = true;
+        anchorage::AnchorageAllocModel model(space, clock, control);
+        curves.push_back(runFragConfig(
+            "anchorage", model, workload_config, timeline, clock,
+            [&model](kv::CacheWorkload &) { model.maintain(); }));
+    }
+
+    printCurves(curves, timeline.tickSec);
+
+    std::printf("\nsummary (final RSS):\n");
+    const double baseline_final = curves[0].rssMb.back();
+    for (const auto &curve : curves) {
+        std::printf("  %-13s %7.1f MB  (%+.0f%% vs baseline)\n",
+                    curve.name.c_str(), curve.rssMb.back(),
+                    (curve.rssMb.back() / baseline_final - 1) * 100);
+    }
+    std::printf("\npaper: baseline ~300 MB flat; Anchorage and "
+                "activedefrag both fall to ~150 MB (about 40%%\n"
+                "less); Mesh lands in between.\n");
+    return 0;
+}

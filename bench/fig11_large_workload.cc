@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Figure 11: defragmentation at large scale. The paper runs the
+ * Figure 9 experiment with a 50 GiB maxmemory policy and >100 GiB
+ * inserted on a 512 GiB testbed; this reproduction runs the identical
+ * logic scaled by 1/50 (1 GiB policy, ~2.5 GiB inserted) over a
+ * phantom address space — layout, metadata, controller dynamics and
+ * page accounting are real; only the payload bytes are absent (see
+ * DESIGN.md). The paper's qualitative findings to look for:
+ *
+ *  - >2.5x fragmentation once eviction begins;
+ *  - Anchorage converges to activedefrag's steady state but over a
+ *    longer time frame, because its first pass badly mispredicts the
+ *    pause cost and the controller then backs off to honour O_ub;
+ *  - Mesh barely moves at this scale.
+ */
+
+#include <cstdio>
+
+#include "alloc_sim/jemalloc_model.h"
+#include "anchorage/alloc_model_adapter.h"
+#include "bench/frag_harness.h"
+#include "mesh/mesh_model.h"
+#include "sim/address_space.h"
+
+int
+main()
+{
+    using namespace alaska;
+    using namespace alaska::bench;
+
+    std::printf("=== Figure 11: large-memory defragmentation "
+                "(paper: 50 GiB policy; here 1 GiB, scaled 1/50) "
+                "===\n\n");
+
+    kv::CacheWorkloadConfig workload_config;
+    workload_config.maxMemory = 1ull << 30;
+    workload_config.valueSize = 500;
+    workload_config.driftPeriod = 400000;
+
+    FragTimeline timeline;
+    timeline.seconds = 1000.0; // virtual seconds, as in the paper's 2000
+    timeline.tickSec = 5.0;
+    // ~2.4 GiB inserted in total; eviction begins ~40% through.
+    timeline.totalInserts = 4000000;
+
+    std::vector<FragCurve> curves;
+
+    {
+        VirtualClock clock;
+        JemallocModel model;
+        curves.push_back(runFragConfig(
+            "baseline", model, workload_config, timeline, clock,
+            [](kv::CacheWorkload &) {}));
+    }
+    {
+        VirtualClock clock;
+        JemallocModel model;
+        curves.push_back(runFragConfig(
+            "activedefrag", model, workload_config, timeline, clock,
+            [](kv::CacheWorkload &workload) {
+                workload.defragCycle(workload.liveRecords() / 10 + 1);
+            }));
+    }
+    {
+        VirtualClock clock;
+        MeshModel model(7);
+        model.setProbeBudget(32); // Mesh's default pacing
+        curves.push_back(runFragConfig(
+            "mesh", model, workload_config, timeline, clock,
+            [&model](kv::CacheWorkload &) { model.maintain(); }));
+    }
+    double first_pause = 0;
+    size_t passes = 0;
+    {
+        VirtualClock clock;
+        PhantomAddressSpace space;
+        anchorage::ControlParams control;
+        control.useModeledTime = true;
+        control.oUb = 0.05; // the paper's 5% overhead maximum
+        control.alpha = 0.25;
+        // Tighter fragmentation goals so convergence completes within
+        // the (scaled) window; the paper's run is 2x longer.
+        control.fUb = 1.25;
+        control.fLb = 1.05;
+        anchorage::AnchorageAllocModel model(space, clock, control);
+        curves.push_back(runFragConfig(
+            "anchorage", model, workload_config, timeline, clock,
+            [&](kv::CacheWorkload &) {
+                model.maintain();
+                if (model.lastAction().defragged && first_pause == 0)
+                    first_pause = model.lastAction().pauseSec;
+            }));
+        passes = model.controller().passes();
+    }
+
+    printCurves(curves, timeline.tickSec);
+
+    std::printf("\nsummary (final RSS, 1 GiB policy):\n");
+    const double baseline_final = curves[0].rssMb.back();
+    for (const auto &curve : curves) {
+        std::printf("  %-13s %8.1f MB  (%+.0f%% vs baseline)\n",
+                    curve.name.c_str(), curve.rssMb.back(),
+                    (curve.rssMb.back() / baseline_final - 1) * 100);
+    }
+    std::printf("\nanchorage controller: first pause %.3f s (alpha * "
+                "heap mispredicts badly at this scale), then\n"
+                "backs off ~%.0f s to stay within O_ub=5%%; %zu passes "
+                "over the run — the slow convergence the paper\n"
+                "describes around its 7 s pause and 250 s backoff.\n",
+                first_pause, first_pause / 0.05, passes);
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Figure 12: the latency effect of Anchorage's stop-the-world pauses
+ * on a multithreaded memcached-like server, across worker thread
+ * counts and pause intervals. Each pause relocates ~1 MiB regardless
+ * of fragmentation (the paper's synthetic setup). Expected shape:
+ * noticeable average-latency impact only at impractically short
+ * intervals, shrinking as the interval grows, and no trend with
+ * thread count.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "anchorage/anchorage_service.h"
+#include "base/stats.h"
+#include "base/timer.h"
+#include "core/runtime.h"
+#include "core/translate.h"
+#include "kv/alloc_policy.h"
+#include "kv/memcached_sim.h"
+#include "sim/address_space.h"
+
+namespace
+{
+
+using namespace alaska;
+using namespace alaska::kv;
+
+struct Cell
+{
+    int threads;
+    int interval_ms;
+    double mean_us;
+    double stddev_us;
+    double p99_us;
+    uint64_t pauses;
+};
+
+Cell
+runCell(int n_threads, int interval_ms, double run_sec)
+{
+    RealAddressSpace space;
+    anchorage::AnchorageService service(
+        space, anchorage::AnchorageConfig{.subHeapBytes = 4 << 20});
+    Runtime runtime(RuntimeConfig{.tableCapacity = 1u << 22});
+    runtime.attachService(&service);
+    AlaskaAlloc alloc(runtime);
+    MemcachedSim<AlaskaAlloc> server(alloc, 32);
+
+    ycsb::Workload load_def(ycsb::WorkloadKind::A, 20000, 11, 100);
+    {
+        ThreadRegistration reg(runtime);
+        server.load(load_def);
+    }
+
+    std::atomic<bool> stop{false};
+    std::vector<LatencyDigest> digests(
+        static_cast<size_t>(n_threads));
+    std::vector<std::thread> workers;
+    for (int t = 0; t < n_threads; t++) {
+        workers.emplace_back([&, t] {
+            ThreadRegistration reg(runtime);
+            ycsb::Workload workload(ycsb::WorkloadKind::A, 20000,
+                                    300 + t, 100);
+            while (!stop.load(std::memory_order_relaxed)) {
+                Stopwatch watch;
+                server.serve(workload.next(), workload);
+                digests[static_cast<size_t>(t)].add(watch.elapsedNs());
+                poll();
+            }
+        });
+    }
+
+    uint64_t pauses = 0;
+    Stopwatch run_watch;
+    if (interval_ms > 0) {
+        while (run_watch.elapsedSec() < run_sec) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+            service.defrag(1 << 20); // ~1 MiB per pause
+            pauses++;
+        }
+    } else {
+        // Control: no pauses at all.
+        std::this_thread::sleep_for(std::chrono::duration<double>(run_sec));
+    }
+    stop.store(true);
+    for (auto &worker : workers)
+        worker.join();
+
+    LatencyDigest all;
+    for (auto &digest : digests)
+        all.merge(digest);
+    return Cell{n_threads, interval_ms, all.mean() / 1e3,
+                all.stddev() / 1e3, all.percentile(99) / 1e3, pauses};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 12: memcached latency vs pause interval "
+                "and thread count ===\n");
+    std::printf("YCSB-A, ~1 MiB relocated per pause; latencies in "
+                "microseconds\n\n");
+    std::printf("%8s %12s %10s %10s %10s %8s %10s\n", "threads",
+                "interval_ms", "mean_us", "stddev_us", "p99_us",
+                "pauses", "overhead");
+
+    for (int threads : {1, 2, 4, 8}) {
+        // Per-thread-count control without pauses isolates the pause
+        // cost from plain lock contention.
+        const Cell control = runCell(threads, 0, 1.0);
+        std::printf("%8d %12s %10.2f %10.2f %10.2f %8s %10s\n",
+                    threads, "none", control.mean_us,
+                    control.stddev_us, control.p99_us, "-", "-");
+        for (int interval : {100, 250, 500, 1000}) {
+            const Cell cell = runCell(threads, interval, 1.0);
+            std::printf("%8d %12d %10.2f %10.2f %10.2f %8llu %9.1f%%\n",
+                        cell.threads, cell.interval_ms, cell.mean_us,
+                        cell.stddev_us, cell.p99_us,
+                        static_cast<unsigned long long>(cell.pauses),
+                        (cell.mean_us / control.mean_us - 1) * 100);
+        }
+    }
+    std::printf("\npaper: ~10%% average overhead across all "
+                "configurations (≈4 us), <7%% at practical intervals\n"
+                "(>=500 ms); driven by outliers blocked on pauses; no "
+                "correlation with thread count.\n");
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * §5.5 "Response latency": YCSB latencies against the minikv store —
+ * baseline (libc malloc, raw pointers) vs Alaska+Anchorage. The paper
+ * reports ~13% overhead on workload-A reads and ~17% on workload-F
+ * updates (translation cost plus the simpler Anchorage allocator).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "anchorage/anchorage_service.h"
+#include "base/stats.h"
+#include "base/timer.h"
+#include "core/runtime.h"
+#include "kv/alloc_policy.h"
+#include "kv/minikv.h"
+#include "sim/address_space.h"
+#include "ycsb/ycsb.h"
+
+namespace
+{
+
+using namespace alaska;
+using namespace alaska::kv;
+
+struct Latencies
+{
+    double read_us = 0;
+    double update_us = 0;
+};
+
+template <typename A>
+Latencies
+runWorkloads(A &alloc, uint64_t records, uint64_t ops)
+{
+    Latencies out;
+    MiniKv<A> kv(alloc);
+    {
+        ycsb::Workload load_def(ycsb::WorkloadKind::A, records, 3, 500);
+        for (uint64_t id = 0; id < records; id++) {
+            kv.set(ycsb::Workload::keyFor(id), load_def.valueFor(id));
+        }
+    }
+    // Workload A: measure read latency; F: update (RMW) latency.
+    for (auto kind : {ycsb::WorkloadKind::A, ycsb::WorkloadKind::F}) {
+        ycsb::Workload workload(kind, records, 17, 500);
+        LatencyDigest reads, updates;
+        for (uint64_t i = 0; i < ops; i++) {
+            const ycsb::Request request = workload.next();
+            const std::string key =
+                ycsb::Workload::keyFor(request.key);
+            Stopwatch watch;
+            switch (request.op) {
+              case ycsb::OpType::Read:
+                kv.get(key);
+                reads.add(watch.elapsedNs());
+                break;
+              case ycsb::OpType::Update:
+              case ycsb::OpType::Insert:
+                kv.set(key, workload.valueFor(request.key));
+                break;
+              case ycsb::OpType::ReadModifyWrite: {
+                auto value = kv.get(key);
+                std::string modified = value.value_or(
+                    std::string(workload.valueSize(), 'x'));
+                modified[0] ^= 1;
+                kv.set(key, modified);
+                updates.add(watch.elapsedNs());
+                break;
+              }
+            }
+        }
+        if (kind == ycsb::WorkloadKind::A)
+            out.read_us = reads.mean() / 1e3;
+        else
+            out.update_us = updates.mean() / 1e3;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== par.5.5 response latency: YCSB on minikv, "
+                "baseline vs Alaska+Anchorage ===\n\n");
+    constexpr uint64_t records = 100000;
+    constexpr uint64_t ops = 400000;
+
+    Latencies baseline;
+    {
+        LibcAlloc alloc;
+        baseline = runWorkloads(alloc, records, ops);
+    }
+
+    Latencies alaska_lat;
+    {
+        RealAddressSpace space;
+        anchorage::AnchorageService service(space);
+        Runtime runtime(RuntimeConfig{.tableCapacity = 1u << 22});
+        runtime.attachService(&service);
+        ThreadRegistration reg(runtime);
+        AlaskaAlloc alloc(runtime);
+        alaska_lat = runWorkloads(alloc, records, ops);
+    }
+
+    std::printf("%-26s %12s %12s %10s %10s\n", "metric", "baseline",
+                "anchorage", "overhead", "delta");
+    std::printf("%-26s %10.2fus %10.2fus %9.1f%% %8.0fns\n",
+                "YCSB-A read latency", baseline.read_us,
+                alaska_lat.read_us,
+                (alaska_lat.read_us / baseline.read_us - 1) * 100,
+                (alaska_lat.read_us - baseline.read_us) * 1e3);
+    std::printf("%-26s %10.2fus %10.2fus %9.1f%% %8.0fns\n",
+                "YCSB-F update latency", baseline.update_us,
+                alaska_lat.update_us,
+                (alaska_lat.update_us / baseline.update_us - 1) * 100,
+                (alaska_lat.update_us - baseline.update_us) * 1e3);
+    std::printf("\npaper: ~13%% on reads (workload A), ~17%% on "
+                "updates (workload F) — translation plus the\n"
+                "lower-throughput Anchorage allocator. NOTE: the paper "
+                "measures client latency over loopback\n"
+                "(tens of us per request), while this harness measures "
+                "the in-process operation (sub-us), so\n"
+                "the same absolute slowdown (the delta column) shows "
+                "up as a much larger percentage here.\n");
+    return 0;
+}

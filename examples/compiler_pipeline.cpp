@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The Alaska compiler at work: build a small pointer-chasing program
+ * in the IR, run the pass pipeline (malloc rewrite, Algorithm 1
+ * translation insertion with hoisting, releases, pin-set coloring,
+ * safepoints), print the before/after IR, and execute both on the
+ * real runtime to show they agree.
+ *
+ * Build & run:  ./build/examples/compiler_pipeline
+ */
+
+#include <cstdio>
+
+#include "compiler/passes.h"
+#include "core/malloc_service.h"
+#include "core/runtime.h"
+#include "ir/builder.h"
+#include "ir/interpreter.h"
+#include "ir/verifier.h"
+
+namespace
+{
+
+using namespace alaska;
+using namespace alaska::ir;
+
+/** sum = 0; for i in 0..n: a[i] = i; for i: sum += a[i]; return sum */
+Function *
+buildProgram(Module &module)
+{
+    Function *fn = module.addFunction("sum_array", 1);
+    Builder b(*fn);
+    BasicBlock *entry = b.block();
+    BasicBlock *header = b.newBlock("fill.header");
+    BasicBlock *body = b.newBlock("fill.body");
+    BasicBlock *header2 = b.newBlock("sum.header");
+    BasicBlock *body2 = b.newBlock("sum.body");
+    BasicBlock *exit = b.newBlock("exit");
+
+    Instruction *n = b.arg(0);
+    Instruction *zero = b.constant(0);
+    Instruction *array = b.mallocBytes(b.shl(n, b.constant(3)));
+    b.br(header);
+
+    b.setBlock(header);
+    Instruction *i = b.phi();
+    Builder::addIncoming(i, zero, entry);
+    b.condBr(b.cmpLt(i, n), body, header2);
+    b.setBlock(body);
+    b.store(b.gep(array, i), i);
+    Instruction *i2 = b.add(i, b.constant(1));
+    Builder::addIncoming(i, i2, body);
+    b.br(header);
+
+    b.setBlock(header2);
+    Instruction *j = b.phi();
+    Instruction *sum = b.phi();
+    Builder::addIncoming(j, zero, header);
+    Builder::addIncoming(sum, zero, header);
+    b.condBr(b.cmpLt(j, n), body2, exit);
+    b.setBlock(body2);
+    Instruction *sum2 = b.add(sum, b.load(b.gep(array, j)));
+    Instruction *j2 = b.add(j, b.constant(1));
+    Builder::addIncoming(j, j2, body2);
+    Builder::addIncoming(sum, sum2, body2);
+    b.br(header2);
+
+    b.setBlock(exit);
+    b.freePtr(array);
+    b.ret(sum);
+    fn->computeCfg();
+    fn->renumber();
+    return fn;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace alaska::compiler;
+
+    // Baseline module.
+    Module baseline;
+    Function *base_fn = buildProgram(baseline);
+    std::printf("=== before the Alaska passes ===\n%s\n",
+                toString(*base_fn).c_str());
+
+    Interpreter base_interp(baseline);
+    const int64_t expected = base_interp.run(*base_fn, {100});
+    std::printf("baseline result: sum_array(100) = %lld\n\n",
+                static_cast<long long>(expected));
+
+    // Transformed module (same program, full pipeline).
+    Module transformed;
+    Function *trans_fn = buildProgram(transformed);
+    const PassMetrics metrics = runPipeline(transformed);
+    std::printf("=== after the Alaska passes ===\n%s\n",
+                toString(*trans_fn).c_str());
+    std::printf("pipeline: %zu allocation sites rewritten, %zu "
+                "translations (%zu hoisted to preheaders),\n"
+                "%zu pin slots, %zu safepoints; code growth %.2fx\n",
+                metrics.allocationsReplaced,
+                metrics.translationsInserted,
+                metrics.translationsHoisted, metrics.pinSlots,
+                metrics.safepointsInserted, metrics.codeGrowth());
+
+    const VerifyResult check = verifyTransformed(*trans_fn);
+    std::printf("verifier: %s\n",
+                check.ok() ? "all Alaska invariants hold"
+                           : check.joined().c_str());
+
+    // Execute on the real runtime: halloc, real translation, pins.
+    MallocService service;
+    Runtime runtime;
+    runtime.attachService(&service);
+    ThreadRegistration self(runtime);
+    Interpreter interp(transformed, &runtime);
+    const int64_t got = interp.run(*trans_fn, {100});
+    std::printf("\ntransformed result on the real runtime: %lld "
+                "(%s), %llu dynamic translations for %llu memory "
+                "accesses\n",
+                static_cast<long long>(got),
+                got == expected ? "matches" : "MISMATCH",
+                static_cast<unsigned long long>(
+                    interp.stats().translations),
+                static_cast<unsigned long long>(interp.stats().loads +
+                                                interp.stats().stores));
+    std::printf("(hoisting at work: two loops of accesses, one "
+                "translation)\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Object-granularity swapping via handle faults (paper §7): evict cold
+ * objects to a slow tier and fault them back in transparently on the
+ * next checked translation — paging semantics at object granularity,
+ * with no page tables involved.
+ *
+ * Build & run:  ./build/examples/far_memory
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/pin.h"
+#include "core/runtime.h"
+#include "core/translate.h"
+#include "services/swap_service.h"
+
+int
+main()
+{
+    using namespace alaska;
+
+    SwapService service;
+    Runtime runtime;
+    runtime.attachService(&service);
+    ThreadRegistration self(runtime);
+
+    // A working set of 1 KiB objects.
+    constexpr int n = 1000;
+    std::vector<void *> objects;
+    for (int i = 0; i < n; i++) {
+        void *h = runtime.halloc(1024);
+        std::memset(translate(h), i & 0xff, 1024);
+        objects.push_back(h);
+    }
+    std::printf("allocated %d KiB hot\n", n);
+    std::printf("hot=%zu KiB cold=%zu KiB\n", service.hotBytes() / 1024,
+                service.coldBytes() / 1024);
+
+    // Keep a few pinned (imagine they are mid-I/O), evict the rest.
+    {
+        ALASKA_PIN_FRAME(frame, 2);
+        frame.pin(0, objects[0]);
+        frame.pin(1, objects[1]);
+        const size_t evicted = service.swapOutAllUnpinned();
+        std::printf("\nswapped out %zu unpinned objects\n", evicted);
+    }
+    std::printf("hot=%zu KiB cold=%zu KiB\n", service.hotBytes() / 1024,
+                service.coldBytes() / 1024);
+
+    // Touch a working set: each first touch faults the object in.
+    long checksum = 0;
+    for (int i = 0; i < 50; i++) {
+        auto *p = static_cast<unsigned char *>(
+            translateChecked(objects[static_cast<size_t>(i)]));
+        checksum += p[512];
+    }
+    std::printf("\ntouched 50 objects -> %zu handle faults served, "
+                "checksum %ld\n", service.swapIns(), checksum);
+    std::printf("hot=%zu KiB cold=%zu KiB\n", service.hotBytes() / 1024,
+                service.coldBytes() / 1024);
+
+    for (void *h : objects)
+        runtime.hfree(h);
+    std::printf("\nall freed; cold tier drained to %zu bytes\n",
+                service.coldBytes());
+    return 0;
+}

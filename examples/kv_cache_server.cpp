@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A Redis-style cache on Alaska + Anchorage with a live controller:
+ * the store's data structures (dict, sds strings, LRU list) run
+ * unmodified over handles, fragmentation builds up under eviction
+ * churn, and the control thread defragments it away — no activedefrag,
+ * no application cooperation.
+ *
+ * Build & run:  ./build/examples/kv_cache_server
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "anchorage/anchorage_service.h"
+#include "anchorage/control.h"
+#include "base/rng.h"
+#include "core/runtime.h"
+#include "kv/alloc_policy.h"
+#include "kv/minikv.h"
+#include "sim/address_space.h"
+#include "sim/clock.h"
+
+int
+main()
+{
+    using namespace alaska;
+    using namespace alaska::kv;
+
+    RealAddressSpace space;
+    anchorage::AnchorageService service(
+        space, anchorage::AnchorageConfig{.subHeapBytes = 4 << 20});
+    Runtime runtime(RuntimeConfig{.tableCapacity = 1u << 20});
+    runtime.attachService(&service);
+    ThreadRegistration self(runtime);
+
+    AlaskaAlloc alloc(runtime);
+    MiniKv<AlaskaAlloc> kv(alloc, /*maxmemory=*/24 << 20);
+
+    RealClock clock;
+    anchorage::ControlParams params;
+    params.fLb = 1.10;
+    params.fUb = 1.30;
+    params.alpha = 0.5;
+    params.pollInterval = 0.05; // a demo-friendly observation cadence
+    anchorage::DefragController controller(service, clock, params);
+
+    std::printf("cache server: maxmemory 24 MiB, LRU eviction, "
+                "Anchorage controller [F 1.10..1.30]\n\n");
+    std::printf("%10s %10s %10s %12s %8s %9s\n", "inserts", "keys",
+                "used(MB)", "heapRSS(MB)", "frag", "defrags");
+
+    Rng rng(2026);
+    size_t inserted = 0;
+    for (int round = 1; round <= 12; round++) {
+        // A burst of inserts with a drifting value-size mix.
+        for (int i = 0; i < 30000; i++) {
+            const std::string key =
+                "user:" + std::to_string(rng.below(1u << 20));
+            const size_t value_size =
+                200 + (round % 4) * 150 + rng.below(100);
+            kv.set(key, std::string(value_size, 'v'));
+            inserted++;
+        }
+        // The server "stays up" a moment; the controller acts on its
+        // own schedule while requests would normally keep flowing.
+        const double deadline = clock.now() + 0.2;
+        while (clock.now() < deadline) {
+            controller.tick();
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+
+        const auto stats = kv.stats();
+        std::printf("%10zu %10zu %10.1f %12.1f %7.2fx %9zu\n",
+                    inserted, stats.keys,
+                    static_cast<double>(stats.usedMemory) / (1 << 20),
+                    static_cast<double>(service.rss()) / (1 << 20),
+                    service.fragmentation(), controller.passes());
+    }
+
+    std::printf("\nfinal: %zu keys, frag %.2fx after %zu controller "
+                "passes; a sample read: %s\n",
+                kv.stats().keys, service.fragmentation(),
+                controller.passes(),
+                kv.get("user:1").has_value() ? "hit" : "miss (evicted)");
+    std::printf("the KV code never heard about any of this — that is "
+                "the point.\n");
+    return 0;
+}

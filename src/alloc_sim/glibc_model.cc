@@ -1,0 +1,86 @@
+#include "alloc_sim/glibc_model.h"
+
+#include "base/logging.h"
+
+namespace alaska
+{
+
+namespace
+{
+
+constexpr size_t
+align16(size_t size)
+{
+    return (size + 15) & ~size_t{15};
+}
+
+} // anonymous namespace
+
+uint64_t
+GlibcModel::alloc(size_t size)
+{
+    const size_t need = align16(size ? size : 1);
+
+    // Address-ordered first fit over the free ranges.
+    for (auto it = freeRanges_.begin(); it != freeRanges_.end(); ++it) {
+        if (it->second < need)
+            continue;
+        const uint64_t addr = it->first;
+        const size_t remainder = it->second - need;
+        freeRanges_.erase(it);
+        if (remainder > 0)
+            freeRanges_.emplace(addr + need, remainder);
+        live_.emplace(addr, need);
+        active_ += need;
+        space_->touch(addr, need);
+        return addr;
+    }
+
+    // Extend the arena (brk).
+    ALASKA_ASSERT(top_ + need <= arenaBytes_, "glibc arena exhausted");
+    const uint64_t addr = arenaBase_ + top_;
+    top_ += need;
+    live_.emplace(addr, need);
+    active_ += need;
+    space_->touch(addr, need);
+    return addr;
+}
+
+void
+GlibcModel::free(uint64_t token)
+{
+    auto it = live_.find(token);
+    ALASKA_ASSERT(it != live_.end(), "free of unknown token");
+    uint64_t addr = token;
+    size_t size = it->second;
+    live_.erase(it);
+    active_ -= size;
+
+    // Coalesce with the preceding free range.
+    auto next = freeRanges_.lower_bound(addr);
+    if (next != freeRanges_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == addr) {
+            addr = prev->first;
+            size += prev->second;
+            freeRanges_.erase(prev);
+        }
+    }
+    // Coalesce with the following free range.
+    next = freeRanges_.lower_bound(addr + size);
+    if (next != freeRanges_.end() && next->first == addr + size) {
+        size += next->second;
+        freeRanges_.erase(next);
+    }
+
+    // Top-of-heap trim is the *only* way pages go back to the kernel.
+    if (addr + size == arenaBase_ + top_) {
+        top_ = addr - arenaBase_;
+        space_->discard(addr, size);
+        return;
+    }
+    freeRanges_.emplace(addr, size);
+    // Interior pages stay resident: glibc cannot give them back.
+}
+
+} // namespace alaska

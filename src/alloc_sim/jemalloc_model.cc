@@ -1,0 +1,238 @@
+#include "alloc_sim/jemalloc_model.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace alaska
+{
+
+namespace
+{
+
+/** jemalloc-style size classes: 16..128 by 16, then 1.25x spacing. */
+constexpr size_t smallClasses[] = {
+    16,  32,  48,  64,  80,  96,   112,  128,  160,  192,  224,  256,
+    320, 384, 448, 512, 640, 768,  896,  1024, 1280, 1536, 1792, 2048,
+    2560, 3072, 3584,
+};
+constexpr int nSmallClasses =
+    static_cast<int>(sizeof(smallClasses) / sizeof(smallClasses[0]));
+
+} // anonymous namespace
+
+int
+JemallocModel::numClasses()
+{
+    return nSmallClasses;
+}
+
+size_t
+JemallocModel::classSize(int cls)
+{
+    return smallClasses[cls];
+}
+
+int
+JemallocModel::classOf(size_t size)
+{
+    if (size > maxSmall)
+        return -1;
+    for (int c = 0; c < nSmallClasses; c++) {
+        if (smallClasses[c] >= size)
+            return c;
+    }
+    return -1;
+}
+
+int
+JemallocModel::decileOf(const Slab &slab)
+{
+    const int d = static_cast<int>(slab.occupancy() * 10.0);
+    return std::min(d, 9);
+}
+
+uint64_t
+JemallocModel::alloc(size_t size)
+{
+    if (size == 0)
+        size = 1;
+    const int cls = classOf(size);
+    const uint64_t token =
+        cls < 0 ? allocLarge(size) : allocSmall(cls);
+    return token;
+}
+
+uint64_t
+JemallocModel::allocLarge(size_t size)
+{
+    const size_t page = space_->pages().pageSize();
+    const size_t need = (size + page - 1) / page * page;
+    const uint64_t addr = space_->map(need);
+    large_.emplace(addr, need);
+    active_ += need;
+    space_->touch(addr, need);
+    return addr;
+}
+
+uint64_t
+JemallocModel::allocSmall(int cls)
+{
+    Bin &bin = bins_[cls];
+
+    // Densest-first: scan occupancy buckets from high to low. This is
+    // what makes defrag-driven reallocation drain sparse slabs.
+    Slab *slab = nullptr;
+    for (int d = 9; d >= 0 && !slab; d--) {
+        auto &bucket = bin.buckets[d];
+        while (!bucket.empty()) {
+            auto it = slabs_.find(bucket.back());
+            Slab *cand = it == slabs_.end() ? nullptr : it->second.get();
+            if (!cand || cand->full() || cand->decile != d) {
+                bucket.pop_back(); // stale: released or rebucketed
+                continue;
+            }
+            slab = cand;
+            break;
+        }
+    }
+
+    if (!slab) {
+        // New slab run from the OS.
+        auto fresh = std::make_unique<Slab>();
+        fresh->base = space_->map(slabBytes);
+        fresh->cls = cls;
+        fresh->slots = static_cast<uint32_t>(slabBytes / classSize(cls));
+        fresh->bitmap.assign((fresh->slots + 63) / 64, 0);
+        fresh->decile = 0;
+        slab = fresh.get();
+        slabs_.emplace(fresh->base, std::move(fresh));
+        bin.counts[0]++;
+        bin.nonFull++;
+        bin.buckets[0].push_back(slab->base);
+    }
+
+    // First free slot.
+    uint32_t slot = 0;
+    for (size_t w = 0; w < slab->bitmap.size(); w++) {
+        if (slab->bitmap[w] != ~UINT64_C(0)) {
+            slot = static_cast<uint32_t>(
+                w * 64 +
+                static_cast<uint32_t>(__builtin_ctzll(~slab->bitmap[w])));
+            break;
+        }
+    }
+    ALASKA_ASSERT(slot < slab->slots, "slab bookkeeping broken");
+    slab->bitmap[slot >> 6] |= (UINT64_C(1) << (slot & 63));
+    slab->liveSlots++;
+    if (slab->full()) {
+        // Leaves the non-full population (its previous liveSlots-1
+        // slots were counted there).
+        bin.nonFull--;
+        bin.liveInNonFull -= slab->liveSlots - 1;
+    } else {
+        bin.liveInNonFull++;
+    }
+    rebucket(slab, /*was_full=*/false);
+
+    const uint64_t token = slab->base + slot * classSize(cls);
+    active_ += classSize(cls);
+    space_->touch(token, classSize(cls));
+    return token;
+}
+
+JemallocModel::Slab *
+JemallocModel::slabOf(uint64_t token) const
+{
+    auto it = slabs_.upper_bound(token);
+    if (it == slabs_.begin())
+        return nullptr;
+    --it;
+    if (token >= it->first + slabBytes)
+        return nullptr;
+    return it->second.get();
+}
+
+void
+JemallocModel::rebucket(Slab *slab, bool was_full)
+{
+    const int now = slab->full() ? -1 : decileOf(*slab);
+    const int before = was_full ? -1 : slab->decile;
+    if (now == before && !was_full)
+        return;
+    Bin &bin = bins_[slab->cls];
+    if (before >= 0)
+        bin.counts[before]--;
+    if (now >= 0) {
+        bin.counts[now]++;
+        slab->decile = now;
+        bin.buckets[now].push_back(slab->base);
+    }
+}
+
+void
+JemallocModel::free(uint64_t token)
+{
+    auto large_it = large_.find(token);
+    if (large_it != large_.end()) {
+        active_ -= large_it->second;
+        // Large runs go straight back to the kernel.
+        space_->unmap(token, large_it->second);
+        large_.erase(large_it);
+        return;
+    }
+
+    Slab *slab = slabOf(token);
+    ALASKA_ASSERT(slab != nullptr, "free of unknown token");
+    const size_t csize = classSize(slab->cls);
+    const auto slot = static_cast<uint32_t>((token - slab->base) / csize);
+    const uint64_t mask = UINT64_C(1) << (slot & 63);
+    ALASKA_ASSERT(slab->bitmap[slot >> 6] & mask, "double free");
+    const bool was_full = slab->full();
+    slab->bitmap[slot >> 6] &= ~mask;
+    slab->liveSlots--;
+    active_ -= csize;
+
+    Bin &bin = bins_[slab->cls];
+    if (was_full) {
+        bin.nonFull++;
+        bin.liveInNonFull += slab->liveSlots;
+    } else {
+        bin.liveInNonFull--;
+    }
+
+    if (slab->empty()) {
+        // The whole run is free: release it (jemalloc decay, modeled
+        // as immediate).
+        bin.counts[slab->decile]--;
+        bin.nonFull--;
+        space_->unmap(slab->base, slabBytes);
+        slabs_.erase(slab->base); // stale bucket entries pruned lazily
+        return;
+    }
+    rebucket(slab, was_full);
+}
+
+bool
+JemallocModel::shouldMove(uint64_t token) const
+{
+    if (large_.count(token))
+        return false;
+    const Slab *slab = slabOf(token);
+    if (!slab || slab->full())
+        return false;
+    // jemalloc's je_get_defrag_hint: move allocations whose run is
+    // utilized below the bin average — reallocation (served
+    // densest-first) then drains below-average runs until their pages
+    // can be released. The 0.95 factor provides hysteresis so equal
+    // slabs do not ping-pong forever.
+    const Bin &bin = bins_[slab->cls];
+    if (bin.nonFull <= 1)
+        return false; // nowhere better to go
+    const double avg = static_cast<double>(bin.liveInNonFull) /
+                       (static_cast<double>(bin.nonFull) *
+                        static_cast<double>(slab->slots));
+    return slab->occupancy() < avg * 0.95;
+}
+
+} // namespace alaska

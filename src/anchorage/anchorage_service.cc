@@ -1,0 +1,269 @@
+#include "anchorage/anchorage_service.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/timer.h"
+
+namespace alaska::anchorage
+{
+
+AnchorageService::AnchorageService(AddressSpace &space,
+                                   AnchorageConfig config)
+    : space_(space), config_(config)
+{
+}
+
+AnchorageService::~AnchorageService() = default;
+
+void
+AnchorageService::init(Runtime &runtime)
+{
+    runtime_ = &runtime;
+}
+
+void
+AnchorageService::deinit()
+{
+    runtime_ = nullptr;
+}
+
+SubHeap *
+AnchorageService::heapOf(uint64_t addr)
+{
+    for (auto &heap : heaps_) {
+        if (heap->contains(addr))
+            return heap.get();
+    }
+    return nullptr;
+}
+
+const SubHeap *
+AnchorageService::heapOf(uint64_t addr) const
+{
+    for (const auto &heap : heaps_) {
+        if (heap->contains(addr))
+            return heap.get();
+    }
+    return nullptr;
+}
+
+void *
+AnchorageService::alloc(uint32_t id, size_t size)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+
+    // Oversized objects get a dedicated sub-heap.
+    const size_t heap_bytes = std::max(config_.subHeapBytes, size);
+
+    if (!heaps_.empty()) {
+        auto r = heaps_[cursor_]->alloc(id, size);
+        if (r.ok)
+            return reinterpret_cast<void *>(r.addr);
+        // Current sub-heap exhausted; try the others.
+        for (size_t i = 0; i < heaps_.size(); i++) {
+            if (i == cursor_)
+                continue;
+            r = heaps_[i]->alloc(id, size);
+            if (r.ok) {
+                cursor_ = i;
+                return reinterpret_cast<void *>(r.addr);
+            }
+        }
+    }
+
+    heaps_.push_back(std::make_unique<SubHeap>(space_, heap_bytes));
+    cursor_ = heaps_.size() - 1;
+    auto r = heaps_[cursor_]->alloc(id, size);
+    ALASKA_ASSERT(r.ok, "fresh sub-heap cannot satisfy %zu bytes", size);
+    return reinterpret_cast<void *>(r.addr);
+}
+
+void
+AnchorageService::free(uint32_t id, void *ptr)
+{
+    (void)id;
+    std::lock_guard<std::mutex> guard(mutex_);
+    SubHeap *heap = heapOf(reinterpret_cast<uint64_t>(ptr));
+    ALASKA_ASSERT(heap != nullptr, "free of pointer outside the heap");
+    heap->free(reinterpret_cast<uint64_t>(ptr));
+}
+
+size_t
+AnchorageService::usableSize(const void *ptr) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    const SubHeap *heap = heapOf(reinterpret_cast<uint64_t>(ptr));
+    if (!heap)
+        return 0;
+    const int idx = heap->findBlock(reinterpret_cast<uint64_t>(ptr));
+    return idx < 0 ? 0 : heap->blocks()[idx].size;
+}
+
+size_t
+AnchorageService::heapExtent() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    size_t total = 0;
+    for (const auto &heap : heaps_)
+        total += heap->extent();
+    return total;
+}
+
+size_t
+AnchorageService::activeBytes() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    size_t total = 0;
+    for (const auto &heap : heaps_)
+        total += heap->liveBytes();
+    return total;
+}
+
+double
+AnchorageService::fragmentation() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    size_t extent = 0, active = 0;
+    for (const auto &heap : heaps_) {
+        extent += heap->extent();
+        active += heap->liveBytes();
+    }
+    return active == 0 ? 1.0
+                       : static_cast<double>(extent) /
+                             static_cast<double>(active);
+}
+
+size_t
+AnchorageService::subHeapCount() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return heaps_.size();
+}
+
+SubHeapAlloc
+AnchorageService::destAlloc(uint32_t id, size_t size, uint64_t src_addr,
+                            SubHeap *src_heap,
+                            SubHeap::CompactionIndex &index)
+{
+    // First choice: a hole strictly below the object in its own heap
+    // (classic compaction).
+    const int idx = src_heap->popLowestFreeBelow(index, size, src_addr);
+    if (idx >= 0) {
+        src_heap->claimBlock(idx, id, size);
+        return {true, src_heap->blocks()[idx].addr};
+    }
+    // Second choice: a denser sub-heap (ranked by the caller). Handled
+    // in movePass via explicit candidate list; this overload only does
+    // the same-heap case.
+    return {false, 0};
+}
+
+DefragStats
+AnchorageService::defrag(size_t max_bytes)
+{
+    ALASKA_ASSERT(runtime_ != nullptr, "service not attached");
+    DefragStats stats;
+    runtime_->barrier([&](const PinnedSet &pinned) {
+        stats = movePass(pinned, max_bytes);
+    });
+    return stats;
+}
+
+DefragStats
+AnchorageService::defragFully()
+{
+    DefragStats total;
+    for (;;) {
+        const DefragStats pass = defrag(SIZE_MAX);
+        total.movedObjects += pass.movedObjects;
+        total.movedBytes += pass.movedBytes;
+        total.reclaimedBytes += pass.reclaimedBytes;
+        total.pinnedSkips += pass.pinnedSkips;
+        total.measuredSec += pass.measuredSec;
+        total.modeledSec += pass.modeledSec;
+        if (pass.movedBytes == 0 && pass.reclaimedBytes == 0)
+            break;
+    }
+    return total;
+}
+
+DefragStats
+AnchorageService::movePass(const PinnedSet &pinned, size_t max_bytes)
+{
+    Stopwatch watch;
+    DefragStats stats;
+    std::lock_guard<std::mutex> guard(mutex_);
+
+    // Rank sub-heaps emptiest-first: cheap-to-empty heaps are sources;
+    // denser heaps (later ranks) are destinations.
+    std::vector<size_t> order(heaps_.size());
+    for (size_t i = 0; i < order.size(); i++)
+        order[i] = i;
+    auto occupancy = [&](size_t i) {
+        const SubHeap &h = *heaps_[i];
+        return h.extent() == 0 ? 1.0
+                               : static_cast<double>(h.liveBytes()) /
+                                     static_cast<double>(h.extent());
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return occupancy(a) < occupancy(b);
+                     });
+
+    size_t budget = max_bytes;
+    for (size_t rank = 0; rank < order.size() && budget > 0; rank++) {
+        SubHeap &src = *heaps_[order[rank]];
+        auto &blocks = src.blocks();
+        SubHeap::CompactionIndex index = src.buildCompactionIndex();
+        // Walk from the top of the sub-heap downward (§4.3).
+        for (int i = static_cast<int>(blocks.size()) - 1;
+             i >= 0 && budget > 0; i--) {
+            if (blocks[i].isFree())
+                continue;
+            const Block blk = blocks[i];
+            if (pinned.contains(blk.handleId)) {
+                stats.pinnedSkips++;
+                continue;
+            }
+
+            SubHeapAlloc dest = destAlloc(blk.handleId, blk.size,
+                                          blk.addr, &src, index);
+            if (!dest.ok) {
+                // Try denser sub-heaps, densest last in the ranking.
+                for (size_t r2 = order.size(); r2-- > rank + 1;) {
+                    dest = heaps_[order[r2]]->alloc(blk.handleId,
+                                                    blk.size);
+                    if (dest.ok)
+                        break;
+                }
+            }
+            if (!dest.ok)
+                continue;
+
+            // Move: copy bytes, then a single HTE store republishes the
+            // object at its new address for every alias.
+            space_.copy(dest.addr, blk.addr, blk.size);
+            runtime_->table().entry(blk.handleId)
+                .ptr.store(reinterpret_cast<void *>(dest.addr),
+                           std::memory_order_release);
+            src.freeBlockAt(i);
+            stats.movedObjects++;
+            stats.movedBytes += blk.size;
+            budget -= std::min<size_t>(budget, blk.size);
+        }
+        stats.reclaimedBytes += src.trimTop();
+    }
+
+    // Give every sub-heap's trailing pages back to the kernel.
+    for (auto &heap : heaps_)
+        stats.reclaimedBytes += heap->trimTop();
+
+    stats.measuredSec = watch.elapsedSec();
+    stats.modeledSec =
+        config_.modelPauseFloor +
+        static_cast<double>(stats.movedBytes) / config_.modelBandwidth;
+    return stats;
+}
+
+} // namespace alaska::anchorage

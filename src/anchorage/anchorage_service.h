@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Anchorage (paper §4.3): a defragmenting heap allocator built as an
+ * Alaska service. It exploits object mobility: at a stop-the-world
+ * barrier it copies unpinned objects from the top of a source sub-heap
+ * downward/elsewhere, updates their handle table entries (O(1) per
+ * object), trims the freed tails, and returns them to the kernel with
+ * MADV_DONTNEED.
+ */
+
+#ifndef ALASKA_ANCHORAGE_ANCHORAGE_SERVICE_H
+#define ALASKA_ANCHORAGE_ANCHORAGE_SERVICE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "anchorage/sub_heap.h"
+#include "core/runtime.h"
+#include "core/service.h"
+#include "sim/address_space.h"
+
+namespace alaska::anchorage
+{
+
+/** Anchorage configuration. */
+struct AnchorageConfig
+{
+    /** Capacity of each sub-heap. */
+    size_t subHeapBytes = 8ull << 20;
+    /**
+     * Modeled copy bandwidth (bytes/sec) used to predict pause duration
+     * for virtual-clock experiments; real-clock users ignore it.
+     */
+    double modelBandwidth = 4.0e9;
+    /** Modeled fixed cost of one stop-the-world pause, seconds. */
+    double modelPauseFloor = 200e-6;
+};
+
+/** Outcome of one (possibly partial) defragmentation pass. */
+struct DefragStats
+{
+    size_t movedObjects = 0;
+    size_t movedBytes = 0;
+    /** Bytes of extent trimmed and MADV_DONTNEED-ed. */
+    size_t reclaimedBytes = 0;
+    /** Objects skipped because they were pinned. */
+    size_t pinnedSkips = 0;
+    /** Wall-clock duration of the pass, seconds. */
+    double measuredSec = 0;
+    /** Modeled duration (bandwidth model), for virtual-clock runs. */
+    double modeledSec = 0;
+};
+
+/** The defragmenting allocator service. */
+class AnchorageService : public Service
+{
+  public:
+    /**
+     * @param space where backing memory lives (real or phantom)
+     * @param config tuning knobs
+     */
+    explicit AnchorageService(AddressSpace &space,
+                              AnchorageConfig config = {});
+    ~AnchorageService() override;
+
+    // --- Service interface ----------------------------------------------
+    void init(Runtime &runtime) override;
+    void deinit() override;
+    void *alloc(uint32_t id, size_t size) override;
+    void free(uint32_t id, void *ptr) override;
+    size_t usableSize(const void *ptr) const override;
+    size_t heapExtent() const override;
+    size_t activeBytes() const override;
+    const char *name() const override { return "anchorage"; }
+
+    // --- defragmentation ---------------------------------------------------
+    /**
+     * The paper's O(1) fragmentation metric: virtual extent of the heap
+     * over total size of active objects. 1.0 when empty.
+     */
+    double fragmentation() const;
+
+    /**
+     * Trigger a barrier and run one partial defragmentation pass moving
+     * at most max_bytes of objects (the control algorithm passes
+     * alpha * extent). Pinned objects are never moved.
+     */
+    DefragStats defrag(size_t max_bytes);
+
+    /** Full defragmentation: repeat passes until no progress. */
+    DefragStats defragFully();
+
+    /** RSS attributable to the heap (via the address space's pages). */
+    size_t rss() const { return space_.rss(); }
+
+    /** Number of sub-heaps currently mapped. */
+    size_t subHeapCount() const;
+
+  private:
+    /** The in-barrier move loop. Caller holds the world stopped. */
+    DefragStats movePass(const PinnedSet &pinned, size_t max_bytes);
+
+    /** Find the sub-heap containing addr; nullptr if none. */
+    SubHeap *heapOf(uint64_t addr);
+    const SubHeap *heapOf(uint64_t addr) const;
+
+    /** Allocate a defrag destination strictly "better" than src_addr. */
+    SubHeapAlloc destAlloc(uint32_t id, size_t size, uint64_t src_addr,
+                           SubHeap *src_heap,
+                           SubHeap::CompactionIndex &index);
+
+    AddressSpace &space_;
+    AnchorageConfig config_;
+    Runtime *runtime_ = nullptr;
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<SubHeap>> heaps_;
+    /** Index of the sub-heap used for fresh allocations. */
+    size_t cursor_ = 0;
+};
+
+} // namespace alaska::anchorage
+
+#endif // ALASKA_ANCHORAGE_ANCHORAGE_SERVICE_H

@@ -1,0 +1,65 @@
+#include "anchorage/control.h"
+
+namespace alaska::anchorage
+{
+
+DefragController::DefragController(AnchorageService &service,
+                                   const Clock &clock,
+                                   ControlParams params)
+    : service_(service), clock_(clock), params_(params)
+{
+    nextWake_ = clock_.now();
+}
+
+ControlAction
+DefragController::tick()
+{
+    const double now = clock_.now();
+    if (now < nextWake_)
+        return {};
+
+    if (state_ == State::Waiting) {
+        if (service_.fragmentation() > params_.fUb) {
+            state_ = State::Defragmenting;
+            return runPass();
+        }
+        nextWake_ = now + params_.pollInterval;
+        return {};
+    }
+
+    // Defragmenting state.
+    return runPass();
+}
+
+ControlAction
+DefragController::runPass()
+{
+    ControlAction action;
+    action.defragged = true;
+
+    // alpha limits the fraction of the heap moved in a single pause.
+    const auto budget = static_cast<size_t>(
+        params_.alpha * static_cast<double>(service_.heapExtent()));
+    action.stats = service_.defrag(budget > 0 ? budget : 1);
+
+    action.pauseSec = params_.useModeledTime ? action.stats.modeledSec
+                                             : action.stats.measuredSec;
+    totalDefragSec_ += action.pauseSec;
+    passes_++;
+
+    const bool no_progress = action.stats.movedBytes == 0 &&
+                             action.stats.reclaimedBytes == 0;
+    const double now = clock_.now();
+    if (service_.fragmentation() < params_.fLb || no_progress) {
+        // Goal reached or out of opportunities: observe efficiently.
+        state_ = State::Waiting;
+        nextWake_ = now + params_.pollInterval;
+    } else {
+        // Overhead control: sleeping T_defrag / O_ub bounds the duty
+        // cycle at O_ub (paper: "going to sleep for T = Tdefrag/Oub").
+        nextWake_ = now + action.pauseSec / params_.oUb;
+    }
+    return action;
+}
+
+} // namespace alaska::anchorage

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Anchorage's defragmentation control algorithm (paper §4.3, "Control
+ * system").
+ *
+ * The controller keeps fragmentation within [F_lb, F_ub] and the
+ * fraction of time spent defragmenting within [O_lb, O_ub], using
+ * hysteresis. It is a two-state machine:
+ *
+ *  - Waiting: wake every 500 ms; if fragmentation > F_ub, switch to
+ *    Defragmenting.
+ *  - Defragmenting: run partial passes, each moving at most an
+ *    alpha-fraction of the heap; after a pass taking T_defrag, sleep
+ *    T = T_defrag / O_ub; return to Waiting when fragmentation < F_lb
+ *    or no further progress is possible.
+ *
+ * The controller is clock-driven (tick()), so the same code runs under
+ * a real clock (examples) or a virtual clock (benchmarks, Figure 10/11).
+ */
+
+#ifndef ALASKA_ANCHORAGE_CONTROL_H
+#define ALASKA_ANCHORAGE_CONTROL_H
+
+#include <cstddef>
+
+#include "anchorage/anchorage_service.h"
+#include "sim/clock.h"
+
+namespace alaska::anchorage
+{
+
+/** Operator-tunable control parameters. */
+struct ControlParams
+{
+    /** Fragmentation hysteresis bounds [F_lb, F_ub]. */
+    double fLb = 1.15;
+    double fUb = 1.40;
+    /** Defrag overhead bounds [O_lb, O_ub] (fraction of time). */
+    double oLb = 0.01;
+    double oUb = 0.05;
+    /** Aggression: max fraction of the heap moved per pass. */
+    double alpha = 0.25;
+    /** Waiting-state polling interval (the paper's 500 ms). */
+    double pollInterval = 0.5;
+    /**
+     * Use the bandwidth-modeled pass duration instead of measured wall
+     * time (required for virtual-clock experiments).
+     */
+    bool useModeledTime = false;
+};
+
+/** What a controller tick did. */
+struct ControlAction
+{
+    /** True if a defrag pass ran on this tick. */
+    bool defragged = false;
+    /** Stats of the pass, if any. */
+    DefragStats stats;
+    /** The pause duration charged for the pass (model or measured). */
+    double pauseSec = 0;
+};
+
+/** The two-state hysteresis controller. */
+class DefragController
+{
+  public:
+    enum class State
+    {
+        Waiting,
+        Defragmenting,
+    };
+
+    DefragController(AnchorageService &service, const Clock &clock,
+                     ControlParams params = {});
+
+    /**
+     * Give the controller a chance to act. Cheap no-op before
+     * nextWake(). Call from a loop or a dedicated thread.
+     */
+    ControlAction tick();
+
+    /** Absolute time of the next scheduled wake-up. */
+    double nextWake() const { return nextWake_; }
+
+    State state() const { return state_; }
+    const ControlParams &params() const { return params_; }
+
+    /** Total time charged to defragmentation so far, seconds. */
+    double totalDefragSec() const { return totalDefragSec_; }
+    /** Number of passes run. */
+    size_t passes() const { return passes_; }
+
+  private:
+    ControlAction runPass();
+
+    AnchorageService &service_;
+    const Clock &clock_;
+    ControlParams params_;
+    State state_ = State::Waiting;
+    double nextWake_ = 0;
+    double totalDefragSec_ = 0;
+    size_t passes_ = 0;
+};
+
+} // namespace alaska::anchorage
+
+#endif // ALASKA_ANCHORAGE_CONTROL_H

@@ -1,0 +1,219 @@
+#include "anchorage/sub_heap.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace alaska::anchorage
+{
+
+namespace
+{
+
+uint64_t
+alignUp(uint64_t value, uint64_t alignment)
+{
+    return (value + alignment - 1) & ~(alignment - 1);
+}
+
+} // anonymous namespace
+
+SubHeap::SubHeap(AddressSpace &space, size_t capacity)
+    : space_(space), capacity_(capacity)
+{
+    base_ = space_.map(capacity);
+    blocks_.reserve(1024);
+}
+
+SubHeap::~SubHeap()
+{
+    space_.unmap(base_, capacity_);
+}
+
+int
+SubHeap::classOf(size_t size)
+{
+    if (size < alignment)
+        size = alignment;
+    const int cls = 63 - __builtin_clzll(size) - 4; // 16 B -> class 0
+    return std::min(cls, numClasses - 1);
+}
+
+SubHeapAlloc
+SubHeap::alloc(uint32_t id, size_t size)
+{
+    const size_t need = alignUp(size, alignment);
+    const int cls = classOf(need);
+
+    // O(1) reuse: only the front of the class list is checked (§4.3).
+    pruneClassFront(cls);
+    auto &list = freeLists_[cls];
+    if (!list.empty()) {
+        const uint32_t idx = list.back();
+        Block &blk = blocks_[idx];
+        // A same-class block can still be smaller than the request
+        // (classes span [2^k, 2^(k+1))); bump instead in that case.
+        if (blk.size >= need) {
+            list.pop_back();
+            blk.handleId = id;
+            freeBytes_ -= blk.size;
+            liveBytes_ += blk.size;
+            liveCount_++;
+            space_.touch(blk.addr, need);
+            return {true, blk.addr};
+        }
+    }
+    return bumpAlloc(id, need);
+}
+
+SubHeapAlloc
+SubHeap::bumpAlloc(uint32_t id, size_t need)
+{
+    if (bump_ + need > capacity_)
+        return {false, 0};
+    const uint64_t addr = base_ + bump_;
+    bump_ += need;
+    blocks_.push_back(Block{addr, static_cast<uint32_t>(need), id});
+    liveBytes_ += need;
+    liveCount_++;
+    space_.touch(addr, need);
+    return {true, addr};
+}
+
+void
+SubHeap::pruneClassFront(int cls)
+{
+    auto &list = freeLists_[cls];
+    while (!list.empty()) {
+        const uint32_t idx = list.back();
+        if (idx < blocks_.size() && blocks_[idx].isFree())
+            return;
+        list.pop_back(); // stale: trimmed away or already reused
+    }
+}
+
+int
+SubHeap::findBlock(uint64_t addr) const
+{
+    auto it = std::lower_bound(
+        blocks_.begin(), blocks_.end(), addr,
+        [](const Block &b, uint64_t a) { return b.addr < a; });
+    if (it == blocks_.end() || it->addr != addr)
+        return -1;
+    return static_cast<int>(it - blocks_.begin());
+}
+
+void
+SubHeap::free(uint64_t addr)
+{
+    const int idx = findBlock(addr);
+    ALASKA_ASSERT(idx >= 0, "free of unknown block at %llx",
+                  static_cast<unsigned long long>(addr));
+    freeBlockAt(idx);
+}
+
+void
+SubHeap::freeBlockAt(int index)
+{
+    Block &blk = blocks_[index];
+    ALASKA_ASSERT(!blk.isFree(), "double free of block at %llx",
+                  static_cast<unsigned long long>(blk.addr));
+    blk.handleId = Block::freeMarker;
+    liveBytes_ -= blk.size;
+    liveCount_--;
+    freeBytes_ += blk.size;
+    freeLists_[classOf(blk.size)].push_back(static_cast<uint32_t>(index));
+}
+
+void
+SubHeap::claimBlock(int index, uint32_t id, size_t size)
+{
+    Block &blk = blocks_[index];
+    ALASKA_ASSERT(blk.isFree(), "claim of live block");
+    ALASKA_ASSERT(blk.size >= size, "claimed block too small");
+    blk.handleId = id;
+    freeBytes_ -= blk.size;
+    liveBytes_ += blk.size;
+    liveCount_++;
+    space_.touch(blk.addr, size);
+    // The matching free-list entry becomes stale and is pruned lazily.
+}
+
+int
+SubHeap::lowestFreeBlockBelow(size_t size, uint64_t limit)
+{
+    const size_t need = alignUp(size, alignment);
+    const int cls = classOf(need);
+    int best = -1;
+    // Full scan of the class list: this runs inside the stop-the-world
+    // pause, where thoroughness is worth the time (the mutator-facing
+    // alloc path stays O(1)).
+    for (uint32_t idx : freeLists_[cls]) {
+        if (idx >= blocks_.size())
+            continue;
+        const Block &blk = blocks_[idx];
+        if (!blk.isFree() || blk.size < need || blk.addr >= limit)
+            continue;
+        if (best < 0 || blk.addr < blocks_[best].addr)
+            best = static_cast<int>(idx);
+    }
+    return best;
+}
+
+SubHeap::CompactionIndex
+SubHeap::buildCompactionIndex() const
+{
+    CompactionIndex index;
+    for (uint32_t i = 0; i < blocks_.size(); i++) {
+        const Block &blk = blocks_[i];
+        if (blk.isFree())
+            index.sorted[classOf(blk.size)].push_back(i);
+    }
+    // blocks_ is address-ordered, so each class list already is too.
+    return index;
+}
+
+int
+SubHeap::popLowestFreeBelow(CompactionIndex &index, size_t size,
+                            uint64_t limit)
+{
+    const size_t need = alignUp(size, alignment);
+    const int cls = classOf(need);
+    auto &list = index.sorted[cls];
+    auto &cursor = index.cursor[cls];
+    while (cursor < list.size()) {
+        const uint32_t idx = list[cursor];
+        const Block &blk = blocks_[idx];
+        if (!blk.isFree() || blk.size < need) {
+            cursor++; // reused meanwhile, or a smaller same-class block
+            continue;
+        }
+        if (blk.addr >= limit)
+            return -1; // ascending addresses: nothing below limit left
+        cursor++;
+        return static_cast<int>(idx);
+    }
+    return -1;
+}
+
+size_t
+SubHeap::trimTop()
+{
+    const size_t old_bump = bump_;
+    while (!blocks_.empty() && blocks_.back().isFree()) {
+        const Block &blk = blocks_.back();
+        freeBytes_ -= blk.size;
+        bump_ = blk.addr - base_;
+        blocks_.pop_back();
+        // The free-list entries for popped indices go stale and are
+        // pruned lazily on their next pop.
+    }
+    if (bump_ < old_bump) {
+        // Return the reclaimed tail to the kernel (MADV_DONTNEED).
+        space_.discard(base_ + bump_, old_bump - bump_);
+        return old_bump - bump_;
+    }
+    return 0;
+}
+
+} // namespace alaska::anchorage

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Anchorage sub-heaps (paper §4.3).
+ *
+ * Each sub-heap is a contiguous region allocated with a naive bump
+ * pointer plus a power-of-two free list: an allocation first checks the
+ * front of its size class's list (O(1)), then bumps. There is no
+ * splitting, no coalescing, and no thread caching — the allocator is
+ * deliberately simple because defragmentation, not placement cleverness,
+ * is what fights fragmentation here.
+ *
+ * Block metadata is kept out-of-band (a sorted vector per sub-heap)
+ * rather than in headers so the same code runs over real and phantom
+ * address spaces; see DESIGN.md.
+ */
+
+#ifndef ALASKA_ANCHORAGE_SUB_HEAP_H
+#define ALASKA_ANCHORAGE_SUB_HEAP_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/address_space.h"
+
+namespace alaska::anchorage
+{
+
+/** Out-of-band metadata for one heap block. */
+struct Block
+{
+    static constexpr uint32_t freeMarker = 0xffffffffu;
+
+    uint64_t addr = 0;
+    /** Usable size (16-byte aligned). */
+    uint32_t size = 0;
+    /** Owning handle ID, or freeMarker if the block is free. */
+    uint32_t handleId = freeMarker;
+
+    bool isFree() const { return handleId == freeMarker; }
+};
+
+/** Result of allocating within a sub-heap. */
+struct SubHeapAlloc
+{
+    bool ok = false;
+    uint64_t addr = 0;
+};
+
+/** One bump-allocated, free-list-recycled heap segment. */
+class SubHeap
+{
+  public:
+    /** Number of power-of-two size classes (16 B .. 2 GiB). */
+    static constexpr int numClasses = 28;
+    /** Block alignment. */
+    static constexpr uint64_t alignment = 16;
+
+    SubHeap(AddressSpace &space, size_t capacity);
+    ~SubHeap();
+
+    SubHeap(const SubHeap &) = delete;
+    SubHeap &operator=(const SubHeap &) = delete;
+
+    /**
+     * Allocate size bytes for handle id: front-of-class free list first,
+     * bump second. Fails (ok=false) if neither fits.
+     */
+    SubHeapAlloc alloc(uint32_t id, size_t size);
+
+    /** Free the block at addr (must be a live block of this heap). */
+    void free(uint64_t addr);
+
+    /** True iff addr lies within this sub-heap's region. */
+    bool
+    contains(uint64_t addr) const
+    {
+        return addr >= base_ && addr < base_ + capacity_;
+    }
+
+    /** Find the index of the live block at addr; -1 if absent. */
+    int findBlock(uint64_t addr) const;
+
+    /**
+     * Retract the bump pointer past any trailing free blocks and
+     * MADV_DONTNEED the reclaimed tail.
+     * @return bytes reclaimed from the extent.
+     */
+    size_t trimTop();
+
+    /** Base address of the region. */
+    uint64_t base() const { return base_; }
+    /** Region capacity in bytes. */
+    size_t capacity() const { return capacity_; }
+    /** Current bump offset — the sub-heap's used extent. */
+    size_t extent() const { return bump_; }
+    /** Bytes in live blocks. */
+    size_t liveBytes() const { return liveBytes_; }
+    /** Bytes sitting in free blocks (reusable holes). */
+    size_t freeBytes() const { return freeBytes_; }
+    /** Number of live blocks. */
+    size_t liveBlocks() const { return liveCount_; }
+
+    /** All blocks, address-ordered (live and free). For defrag walks. */
+    std::vector<Block> &blocks() { return blocks_; }
+    const std::vector<Block> &blocks() const { return blocks_; }
+
+    /**
+     * Mark the block at index as reallocated to handle id (defrag
+     * destination found via lowestFreeBlockBelow).
+     */
+    void claimBlock(int index, uint32_t id, size_t size);
+
+    /** Release a block by index (defrag source). */
+    void freeBlockAt(int index);
+
+    /**
+     * Lowest-addressed free block of the exact size class that can hold
+     * size bytes and whose address is below limit. Used by defrag to
+     * move objects strictly downward. @return block index or -1.
+     *
+     * Unlike the O(1) mutator path, this scans the class list — the cost
+     * is part of the stop-the-world pause, not the allocation path.
+     */
+    int lowestFreeBlockBelow(size_t size, uint64_t limit);
+
+    /**
+     * Address-sorted snapshot of the free blocks, consumed cursor-wise
+     * by a top-down defrag walk (whose limit only decreases). Lets a
+     * whole pass run in O(F log F) instead of O(F) per moved object.
+     */
+    struct CompactionIndex
+    {
+        std::array<std::vector<uint32_t>, numClasses> sorted;
+        std::array<size_t, numClasses> cursor{};
+    };
+
+    /** Build the snapshot for this sub-heap. */
+    CompactionIndex buildCompactionIndex() const;
+
+    /**
+     * Pop the lowest free block that fits size below limit, advancing
+     * the class cursor. @return block index or -1.
+     */
+    int popLowestFreeBelow(CompactionIndex &index, size_t size,
+                           uint64_t limit);
+
+    /** Size class of a request (index into the free lists). */
+    static int classOf(size_t size);
+
+  private:
+    SubHeapAlloc bumpAlloc(uint32_t id, size_t size);
+    /** Drop stale indices from the front of a class list. */
+    void pruneClassFront(int cls);
+
+    AddressSpace &space_;
+    uint64_t base_ = 0;
+    size_t capacity_ = 0;
+    size_t bump_ = 0;
+    size_t liveBytes_ = 0;
+    size_t freeBytes_ = 0;
+    size_t liveCount_ = 0;
+
+    /** Address-ordered block metadata; indices are stable except for
+     *  trailing pops in trimTop(). */
+    std::vector<Block> blocks_;
+    /** LIFO free lists of block indices, one per power-of-two class.
+     *  Entries may be stale (trimmed or reused); validated on pop. */
+    std::array<std::vector<uint32_t>, numClasses> freeLists_;
+};
+
+} // namespace alaska::anchorage
+
+#endif // ALASKA_ANCHORAGE_SUB_HEAP_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Wall-clock stopwatch used by the benchmark harnesses.
+ */
+
+#ifndef ALASKA_BASE_TIMER_H
+#define ALASKA_BASE_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace alaska
+{
+
+/** A steady-clock stopwatch. Starts on construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Nanoseconds elapsed since construction or last reset(). */
+    uint64_t
+    elapsedNs() const
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start_)
+                .count());
+    }
+
+    /** Seconds elapsed since construction or last reset(). */
+    double
+    elapsedSec() const
+    {
+        return static_cast<double>(elapsedNs()) * 1e-9;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace alaska
+
+#endif // ALASKA_BASE_TIMER_H

@@ -1,0 +1,469 @@
+#include "compiler/passes.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/logging.h"
+#include "ir/analysis.h"
+
+namespace alaska::compiler
+{
+
+using namespace alaska::ir;
+
+namespace
+{
+
+/** Follow address arithmetic to the base pointer value. */
+Instruction *
+addressRoot(Instruction *addr)
+{
+    while (addr->op == Op::Gep || addr->op == Op::Add ||
+           addr->op == Op::Sub) {
+        addr = addr->operands[0];
+    }
+    return addr;
+}
+
+/** Index of the first non-phi instruction in a block. */
+size_t
+firstNonPhi(const BasicBlock *block)
+{
+    size_t i = 0;
+    while (i < block->insts.size() && block->insts[i]->op == Op::Phi)
+        i++;
+    return i;
+}
+
+/** All users of each instruction in a function. */
+std::unordered_map<Instruction *, std::vector<Instruction *>>
+userMap(Function &function)
+{
+    std::unordered_map<Instruction *, std::vector<Instruction *>> users;
+    for (auto &block : function.blocks) {
+        for (auto &inst : block->insts) {
+            for (Instruction *operand : inst->operands)
+                users[operand].push_back(inst.get());
+        }
+    }
+    return users;
+}
+
+} // anonymous namespace
+
+size_t
+replaceAllocations(ir::Function &function)
+{
+    size_t replaced = 0;
+    for (auto &block : function.blocks) {
+        for (auto &inst : block->insts) {
+            if (inst->op == Op::Malloc) {
+                inst->op = Op::Halloc;
+                replaced++;
+            } else if (inst->op == Op::Free) {
+                inst->op = Op::Hfree;
+                replaced++;
+            }
+        }
+    }
+    return replaced;
+}
+
+size_t
+handleEscapes(ir::Function &function)
+{
+    function.inferPointers();
+    size_t pinned = 0;
+    for (auto &block : function.blocks) {
+        // Index loop: we insert while iterating.
+        for (size_t i = 0; i < block->insts.size(); i++) {
+            Instruction *inst = block->insts[i].get();
+            if (inst->op != Op::CallExternal)
+                continue;
+            for (Instruction *&arg : inst->operands) {
+                if (!arg->pointerLike || arg->op == Op::Translate)
+                    continue;
+                // Pin the escapee and hand the raw pointer to the
+                // precompiled code (§4.1.4).
+                auto translate = std::make_unique<Instruction>(
+                    Op::Translate, std::vector<Instruction *>{arg});
+                translate->pointerLike = true;
+                Instruction *t =
+                    block->insertAt(i, std::move(translate));
+                arg = t;
+                i++; // account for the inserted instruction
+                pinned++;
+            }
+        }
+    }
+    return pinned;
+}
+
+size_t
+insertTranslations(ir::Function &function, bool hoisting,
+                   size_t *hoisted_out)
+{
+    function.inferPointers();
+    function.computeCfg();
+
+    // Collect handle-bearing memory accesses, grouped by root pointer.
+    struct Access
+    {
+        Instruction *inst; ///< the load/store
+    };
+    std::vector<std::pair<Instruction *, std::vector<Access>>> groups;
+    std::unordered_map<Instruction *, size_t> group_of;
+    for (auto &block : function.blocks) {
+        for (auto &inst : block->insts) {
+            if (inst->op != Op::Load && inst->op != Op::Store)
+                continue;
+            Instruction *root = addressRoot(inst->operands[0]);
+            if (!root->pointerLike || root->op == Op::Translate)
+                continue; // raw pointers need no translation
+            auto it = group_of.find(root);
+            if (it == group_of.end()) {
+                group_of[root] = groups.size();
+                groups.push_back({root, {}});
+                it = group_of.find(root);
+            }
+            groups[it->second].second.push_back({inst.get()});
+        }
+    }
+
+    size_t inserted = 0;
+
+    // Rewrites one access's address chain onto a translated base.
+    auto rewrite = [&](Instruction *access, Instruction *root,
+                       Instruction *translated) {
+        // Clone the gep/add/sub chain with the root substituted,
+        // placing clones immediately before the access.
+        BasicBlock *block = access->parent;
+        std::vector<Instruction *> chain;
+        for (Instruction *a = access->operands[0]; a != root;
+             a = a->operands[0]) {
+            chain.push_back(a);
+        }
+        Instruction *base = translated;
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+            std::vector<Instruction *> operands = (*it)->operands;
+            operands[0] = base;
+            auto clone = std::make_unique<Instruction>(
+                (*it)->op, std::move(operands), (*it)->imm);
+            clone->pointerLike = true;
+            base = block->insertBefore(access, std::move(clone));
+        }
+        access->operands[0] = base;
+    };
+
+    if (!hoisting) {
+        // -fno-strict-aliasing mode: translate before every access.
+        for (auto &[root, accesses] : groups) {
+            for (auto &access : accesses) {
+                auto translate = std::make_unique<Instruction>(
+                    Op::Translate,
+                    std::vector<Instruction *>{access.inst->operands[0]});
+                translate->pointerLike = true;
+                Instruction *t = access.inst->parent->insertBefore(
+                    access.inst, std::move(translate));
+                access.inst->operands[0] = t;
+                inserted++;
+            }
+        }
+        return inserted;
+    }
+
+    DominatorTree domtree(function);
+    LoopInfo loop_info(function, domtree);
+
+    for (auto &[root, accesses] : groups) {
+        // Dominator placement: the nearest common dominator of all
+        // accesses (the dominator-forest root of Algorithm 1).
+        BasicBlock *dom = accesses[0].inst->parent;
+        for (const auto &access : accesses)
+            dom = domtree.nearestCommonDominator(dom,
+                                                 access.inst->parent);
+
+        // FindNestingLoop: hoist into the preheader of the outermost
+        // loop that contains the insertion point but not the root's
+        // definition.
+        BasicBlock *insert_block = dom;
+        bool hoisted = false;
+        for (Loop *loop = loop_info.innermostLoop(insert_block); loop;
+             loop = loop->parent) {
+            if (root->parent && loop->contains(root->parent))
+                break; // pointer is produced inside this loop
+            ALASKA_ASSERT(loop->preheader != nullptr,
+                          "loop %s lacks a preheader; run "
+                          "ensurePreheaders first",
+                          loop->header->name.c_str());
+            insert_block = loop->preheader;
+            hoisted = true;
+        }
+
+        // Insertion index within the chosen block.
+        size_t idx;
+        if (insert_block == dom) {
+            // Before the earliest access in this block, or before the
+            // terminator if all accesses are in strict successors.
+            idx = insert_block->insts.size() - 1;
+            for (const auto &access : accesses) {
+                if (access.inst->parent == insert_block) {
+                    idx = std::min(
+                        idx, static_cast<size_t>(
+                                 insert_block->indexOf(access.inst)));
+                }
+            }
+        } else {
+            idx = insert_block->insts.size() - 1; // before terminator
+        }
+        if (root->parent == insert_block) {
+            idx = std::max(
+                idx, static_cast<size_t>(insert_block->indexOf(root)) + 1);
+        }
+        idx = std::max(idx, firstNonPhi(insert_block));
+
+        auto translate = std::make_unique<Instruction>(
+            Op::Translate, std::vector<Instruction *>{root});
+        translate->pointerLike = true;
+        Instruction *t = insert_block->insertAt(idx, std::move(translate));
+        inserted++;
+        if (hoisted && hoisted_out)
+            (*hoisted_out)++;
+
+        for (auto &access : accesses)
+            rewrite(access.inst, root, t);
+    }
+    return inserted;
+}
+
+size_t
+insertReleases(ir::Function &function)
+{
+    // Collect translates first: inserting releases changes liveness.
+    std::vector<Instruction *> translates;
+    for (auto &block : function.blocks) {
+        for (auto &inst : block->insts) {
+            if (inst->op == Op::Translate)
+                translates.push_back(inst.get());
+        }
+    }
+
+    Liveness liveness(function);
+    size_t inserted = 0;
+    for (Instruction *t : translates) {
+        for (Instruction *last : liveness.lastUses(t)) {
+            BasicBlock *block = last->parent;
+            auto release = std::make_unique<Instruction>(
+                Op::Release, std::vector<Instruction *>{t});
+            if (last->isTerminator()) {
+                block->insertBefore(last, std::move(release));
+            } else {
+                const int idx = block->indexOf(last);
+                block->insertAt(static_cast<size_t>(idx) + 1,
+                                std::move(release));
+            }
+            inserted++;
+        }
+    }
+    return inserted;
+}
+
+void
+removeReleases(ir::Function &function)
+{
+    for (auto &block : function.blocks) {
+        for (size_t i = 0; i < block->insts.size();) {
+            if (block->insts[i]->op == Op::Release) {
+                block->insts.erase(block->insts.begin() + i);
+            } else {
+                i++;
+            }
+        }
+    }
+}
+
+size_t
+insertPinTracking(ir::Function &function)
+{
+    std::vector<Instruction *> translates;
+    for (auto &block : function.blocks) {
+        for (auto &inst : block->insts) {
+            if (inst->op == Op::Translate)
+                translates.push_back(inst.get());
+        }
+    }
+    if (translates.empty()) {
+        removeReleases(function);
+        return 0;
+    }
+
+    // Interference: two translations conflict when their live ranges
+    // overlap — one is live where the other is defined. Releases are
+    // still in place, so liveness reflects pin lifetimes.
+    Liveness liveness(function);
+    const size_t n = translates.size();
+    std::vector<std::vector<bool>> conflict(n, std::vector<bool>(n));
+    for (size_t i = 0; i < n; i++) {
+        for (size_t j = i + 1; j < n; j++) {
+            const bool overlap =
+                liveness.liveAfter(translates[i], translates[j]) ||
+                liveness.liveAfter(translates[j], translates[i]);
+            conflict[i][j] = conflict[j][i] = overlap;
+        }
+    }
+
+    // Greedy coloring in program order (the paper: "a greedy
+    // interference graph-based allocation strategy similar to a
+    // register allocation algorithm").
+    std::vector<int> slot(n, -1);
+    size_t slots = 0;
+    for (size_t i = 0; i < n; i++) {
+        std::unordered_set<int> taken;
+        for (size_t j = 0; j < n; j++) {
+            if (conflict[i][j] && slot[j] >= 0)
+                taken.insert(slot[j]);
+        }
+        int s = 0;
+        while (taken.count(s))
+            s++;
+        slot[i] = s;
+        slots = std::max(slots, static_cast<size_t>(s) + 1);
+    }
+
+    // Pin set in the prelude; a pin store before every translation.
+    auto pinset = std::make_unique<Instruction>(
+        Op::PinSetAlloc, std::vector<Instruction *>{},
+        static_cast<int64_t>(slots));
+    function.entry()->insertAt(0, std::move(pinset));
+
+    for (size_t i = 0; i < n; i++) {
+        Instruction *t = translates[i];
+        auto pin = std::make_unique<Instruction>(
+            Op::PinStore, std::vector<Instruction *>{t->operands[0]},
+            slot[i]);
+        t->parent->insertBefore(t, std::move(pin));
+    }
+
+    removeReleases(function);
+    return slots;
+}
+
+size_t
+insertSafepoints(ir::Function &function)
+{
+    size_t inserted = 0;
+    function.computeCfg();
+    DominatorTree domtree(function);
+    LoopInfo loop_info(function, domtree);
+
+    // Function entry (after the pin-set prelude).
+    {
+        size_t idx = 0;
+        while (idx < function.entry()->insts.size() &&
+               (function.entry()->insts[idx]->op == Op::PinSetAlloc ||
+                function.entry()->insts[idx]->op == Op::Arg)) {
+            idx++;
+        }
+        function.entry()->insertAt(
+            idx, std::make_unique<Instruction>(Op::Safepoint));
+        inserted++;
+    }
+
+    // Loop back edges: in every latch, right before the branch.
+    for (const auto &loop : loop_info.loops()) {
+        for (BasicBlock *pred : loop->header->preds) {
+            if (!loop->contains(pred))
+                continue;
+            pred->insertBefore(pred->terminator(),
+                               std::make_unique<Instruction>(Op::Safepoint));
+            inserted++;
+        }
+    }
+
+    // Before calls into external code.
+    for (auto &block : function.blocks) {
+        for (size_t i = 0; i < block->insts.size(); i++) {
+            if (block->insts[i]->op == Op::CallExternal) {
+                block->insertAt(
+                    i, std::make_unique<Instruction>(Op::Safepoint));
+                i++;
+                inserted++;
+            }
+        }
+    }
+    return inserted;
+}
+
+size_t
+deadCodeElim(ir::Function &function)
+{
+    size_t removed = 0;
+    for (;;) {
+        auto users = userMap(function);
+        std::vector<Instruction *> dead;
+        for (auto &block : function.blocks) {
+            for (auto &inst : block->insts) {
+                if (!users[inst.get()].empty())
+                    continue;
+                switch (inst->op) {
+                  case Op::Const:
+                  case Op::Add:
+                  case Op::Sub:
+                  case Op::Mul:
+                  case Op::Div:
+                  case Op::Shl:
+                  case Op::Shr:
+                  case Op::And:
+                  case Op::Or:
+                  case Op::Xor:
+                  case Op::CmpEq:
+                  case Op::CmpLt:
+                  case Op::Gep:
+                  case Op::Phi:
+                    dead.push_back(inst.get());
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+        if (dead.empty())
+            return removed;
+        for (Instruction *inst : dead) {
+            inst->parent->erase(inst);
+            removed++;
+        }
+    }
+}
+
+PassMetrics
+runPipeline(ir::Module &module, PassOptions options)
+{
+    PassMetrics metrics;
+    metrics.instructionsBefore = module.instructionCount();
+
+    for (auto &fn : module.functions) {
+        if (options.replaceAllocations)
+            metrics.allocationsReplaced += replaceAllocations(*fn);
+        ensurePreheaders(*fn);
+        metrics.escapesPinned += handleEscapes(*fn);
+        metrics.translationsInserted += insertTranslations(
+            *fn, options.hoisting, &metrics.translationsHoisted);
+        metrics.releasesInserted += insertReleases(*fn);
+        if (options.tracking) {
+            metrics.pinSlots += insertPinTracking(*fn);
+        } else {
+            removeReleases(*fn);
+        }
+        if (options.safepoints)
+            metrics.safepointsInserted += insertSafepoints(*fn);
+        deadCodeElim(*fn);
+        fn->renumber();
+    }
+
+    metrics.instructionsAfter = module.instructionCount();
+    return metrics;
+}
+
+} // namespace alaska::compiler

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The Alaska compiler passes (paper §4.1), reimplemented over the mini
+ * IR:
+ *
+ *  - replaceAllocations: malloc/free -> halloc/hfree (§4.1.1)
+ *  - handleEscapes: pin-and-translate arguments that escape to
+ *    precompiled external code (§4.1.4)
+ *  - insertTranslations: Algorithm 1 — place one translation at a point
+ *    dominating each group of accesses, hoisted out of loops whose
+ *    bodies do not define the pointer (§4.1.2)
+ *  - insertReleases: liveness-bounded ends of translation lifetimes
+ *  - insertPinTracking: interference-graph slot assignment and stack
+ *    pin sets (§4.1.3); consumes the releases
+ *  - insertSafepoints: polls on loop back edges, function entry and
+ *    before external calls (§4.1.3)
+ *
+ * runPipeline() applies them in order and reports the static metrics
+ * (code growth, hoisted fraction, pin-set sizes) used to answer the
+ * paper's Q2.
+ */
+
+#ifndef ALASKA_COMPILER_PASSES_H
+#define ALASKA_COMPILER_PASSES_H
+
+#include <cstddef>
+
+#include "ir/ir.h"
+
+namespace alaska::compiler
+{
+
+/** Pipeline configuration (the Figure 8 ablation axes). */
+struct PassOptions
+{
+    /** Rewrite malloc/free to halloc/hfree. */
+    bool replaceAllocations = true;
+    /** Hoist translations out of loops ("nohoisting" disables). */
+    bool hoisting = true;
+    /** Emit pin sets and stores ("notracking" disables). */
+    bool tracking = true;
+    /** Emit safepoint polls. */
+    bool safepoints = true;
+};
+
+/** Static metrics of one pipeline run. */
+struct PassMetrics
+{
+    size_t instructionsBefore = 0;
+    size_t instructionsAfter = 0;
+    size_t allocationsReplaced = 0;
+    size_t translationsInserted = 0;
+    size_t translationsHoisted = 0;
+    size_t releasesInserted = 0;
+    size_t pinSlots = 0;
+    size_t safepointsInserted = 0;
+    size_t escapesPinned = 0;
+
+    /** Code growth factor (the paper reports geomean 1.48x). */
+    double
+    codeGrowth() const
+    {
+        return instructionsBefore == 0
+                   ? 1.0
+                   : static_cast<double>(instructionsAfter) /
+                         static_cast<double>(instructionsBefore);
+    }
+};
+
+/** malloc/free/calloc-style rewrites. @return sites replaced. */
+size_t replaceAllocations(ir::Function &function);
+
+/** Escape handling for external calls. @return arguments pinned. */
+size_t handleEscapes(ir::Function &function);
+
+/**
+ * Algorithm 1: translation insertion with optional hoisting.
+ * @param hoisted_out if non-null, incremented per hoisted translation.
+ * @return translations inserted.
+ */
+size_t insertTranslations(ir::Function &function, bool hoisting,
+                          size_t *hoisted_out = nullptr);
+
+/** Liveness-based release placement. @return releases inserted. */
+size_t insertReleases(ir::Function &function);
+
+/**
+ * Pin-set slot assignment (greedy interference coloring) and pin-store
+ * emission; consumes Release instructions.
+ * @return the function's pin-set size in slots.
+ */
+size_t insertPinTracking(ir::Function &function);
+
+/** Strip Release instructions without emitting pins (notracking). */
+void removeReleases(ir::Function &function);
+
+/** Safepoint insertion. @return polls inserted. */
+size_t insertSafepoints(ir::Function &function);
+
+/** Remove dead pure instructions. @return instructions removed. */
+size_t deadCodeElim(ir::Function &function);
+
+/** Run the full pipeline over a module. */
+PassMetrics runPipeline(ir::Module &module, PassOptions options = {});
+
+} // namespace alaska::compiler
+
+#endif // ALASKA_COMPILER_PASSES_H

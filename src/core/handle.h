@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The Alaska handle bit representation (paper §3.3, Figure 4).
+ *
+ * A handle is a 64-bit value that coexists with raw pointers in the same
+ * variables:
+ *
+ *   bit  63     : 1 => handle, 0 => raw pointer
+ *   bits 62..32 : handle ID (index into the handle table), 31 bits
+ *   bits 31..0  : byte offset into the object, 32 bits
+ *
+ * Consequences mirrored from the paper:
+ *  - at most 2^31 live handles;
+ *  - objects are capped at 4 GiB (larger regions are better served by
+ *    paging anyway);
+ *  - pointer arithmetic on a handle is plain integer arithmetic on the
+ *    offset field, so transformed code needs no special cases as long as
+ *    it stays in bounds (the paper's §3.2 assumption);
+ *  - dereferencing an untranslated handle faults, since the canonical
+ *    x86-64 address space excludes these values.
+ */
+
+#ifndef ALASKA_CORE_HANDLE_H
+#define ALASKA_CORE_HANDLE_H
+
+#include <cstdint>
+
+namespace alaska
+{
+
+/** Number of bits in a handle ID. */
+inline constexpr int handleIdBits = 31;
+/** Number of bits in the intra-object offset. */
+inline constexpr int handleOffsetBits = 32;
+/** The tag bit distinguishing handles from raw pointers. */
+inline constexpr uint64_t handleTagBit = 1ULL << 63;
+/** Exclusive upper bound on handle IDs. */
+inline constexpr uint32_t maxHandleId = 1U << handleIdBits;
+/** Maximum object size representable by the offset field. */
+inline constexpr uint64_t maxObjectSize = 1ULL << handleOffsetBits;
+
+/** True iff the value is a handle (top bit set). */
+constexpr bool
+isHandle(uint64_t value)
+{
+    return static_cast<int64_t>(value) < 0;
+}
+
+/** True iff the pointer-typed value is a handle. */
+inline bool
+isHandle(const void *value)
+{
+    return isHandle(reinterpret_cast<uint64_t>(value));
+}
+
+/** Construct a handle value from an ID and byte offset. */
+constexpr uint64_t
+makeHandle(uint32_t id, uint32_t offset = 0)
+{
+    return handleTagBit | (static_cast<uint64_t>(id) << 32) | offset;
+}
+
+/** Extract the handle ID. Only meaningful if isHandle(value). */
+constexpr uint32_t
+handleId(uint64_t value)
+{
+    return static_cast<uint32_t>(value >> 32) & (maxHandleId - 1);
+}
+
+/** Extract the intra-object byte offset. */
+constexpr uint32_t
+handleOffset(uint64_t value)
+{
+    return static_cast<uint32_t>(value);
+}
+
+static_assert(isHandle(makeHandle(0, 0)));
+static_assert(!isHandle(UINT64_C(0x00007fffffffffff)));
+static_assert(handleId(makeHandle(12345, 678)) == 12345);
+static_assert(handleOffset(makeHandle(12345, 678)) == 678);
+static_assert(handleId(makeHandle(maxHandleId - 1, 0xffffffff)) ==
+              maxHandleId - 1);
+
+} // namespace alaska
+
+#endif // ALASKA_CORE_HANDLE_H

@@ -1,0 +1,99 @@
+#include "core/handle_table.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace alaska
+{
+
+HandleTable::HandleTable(uint32_t capacity) : capacity_(capacity)
+{
+    ALASKA_ASSERT(capacity > 0 && capacity <= maxHandleId,
+                  "capacity %u out of range", capacity);
+    const size_t bytes = static_cast<size_t>(capacity) *
+                         sizeof(HandleTableEntry);
+    void *mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (mem == MAP_FAILED)
+        fatal("handle table: cannot reserve %zu bytes", bytes);
+    table_ = static_cast<HandleTableEntry *>(mem);
+    // Anonymous mappings are zero-filled, which is exactly the initial
+    // entry state we need (ptr == nullptr, state == 0).
+}
+
+HandleTable::~HandleTable()
+{
+    if (table_) {
+        ::munmap(table_,
+                 static_cast<size_t>(capacity_) * sizeof(HandleTableEntry));
+    }
+}
+
+uint32_t
+HandleTable::allocate()
+{
+    {
+        std::lock_guard<std::mutex> guard(freeMutex_);
+        if (!freeList_.empty()) {
+            const uint32_t id = freeList_.back();
+            freeList_.pop_back();
+            auto &e = table_[id];
+            e.state.store(HandleTableEntry::Allocated,
+                          std::memory_order_relaxed);
+            live_.fetch_add(1, std::memory_order_relaxed);
+            return id;
+        }
+    }
+    const uint32_t id = bump_.fetch_add(1, std::memory_order_relaxed);
+    if (id >= capacity_)
+        fatal("handle table exhausted (%u entries)", capacity_);
+    auto &e = table_[id];
+    e.state.store(HandleTableEntry::Allocated, std::memory_order_relaxed);
+    live_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+HandleTable::release(uint32_t id)
+{
+    ALASKA_ASSERT(id < capacity_, "id %u out of range", id);
+    auto &e = table_[id];
+    ALASKA_ASSERT(e.allocated(), "double free of handle %u", id);
+    e.ptr.store(nullptr, std::memory_order_relaxed);
+    e.size = 0;
+    e.state.store(0, std::memory_order_relaxed);
+    live_.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> guard(freeMutex_);
+    freeList_.push_back(id);
+}
+
+HandleTableEntry &
+HandleTable::entry(uint32_t id)
+{
+    ALASKA_ASSERT(id < capacity_, "id %u out of range", id);
+    return table_[id];
+}
+
+const HandleTableEntry &
+HandleTable::entry(uint32_t id) const
+{
+    ALASKA_ASSERT(id < capacity_, "id %u out of range", id);
+    return table_[id];
+}
+
+uint32_t
+HandleTable::watermark() const
+{
+    return bump_.load(std::memory_order_relaxed);
+}
+
+uint32_t
+HandleTable::liveCount() const
+{
+    return live_.load(std::memory_order_relaxed);
+}
+
+} // namespace alaska

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The handle table (paper §4.2.1): a single-level array of per-object
+ * entries, analogous to a one-level page table but with one entry per
+ * object. The whole table is reserved virtually up front (it can never
+ * move once handles are live) and is backed lazily by demand paging.
+ *
+ * Entry allocation is O(1): a free list of recycled IDs is consulted
+ * first, then a bump cursor.
+ */
+
+#ifndef ALASKA_CORE_HANDLE_TABLE_H
+#define ALASKA_CORE_HANDLE_TABLE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/handle.h"
+
+namespace alaska
+{
+
+/**
+ * One handle table entry (HTE).
+ *
+ * The paper's minimal HTE is just the backing pointer (8 bytes/object);
+ * we carry the object size and a flags/state word so services and the
+ * handle-fault path (§7) do not need a side table.
+ */
+struct HandleTableEntry
+{
+    /** Flag bits stored in state. */
+    enum StateBits : uint32_t
+    {
+        Allocated = 1U << 0,
+        /** Set by a service to force translation through the fault
+         *  path (the "handle faults" mechanism of §7). */
+        Invalid = 1U << 1,
+    };
+
+    /** Current backing memory; updated by services when objects move. */
+    std::atomic<void *> ptr{nullptr};
+    /** Object size in bytes as requested at halloc time. */
+    uint32_t size = 0;
+    /**
+     * Entry state. The low bits are StateBits; the remaining bits are an
+     * atomic pin count used only in the (ablation-only) AtomicPins
+     * tracking mode.
+     */
+    std::atomic<uint32_t> state{0};
+
+    static constexpr uint32_t pinCountShift = 8;
+    static constexpr uint32_t pinCountOne = 1U << pinCountShift;
+
+    bool
+    allocated() const
+    {
+        return state.load(std::memory_order_relaxed) & Allocated;
+    }
+
+    bool
+    invalid() const
+    {
+        return state.load(std::memory_order_acquire) & Invalid;
+    }
+
+    uint32_t
+    atomicPinCount() const
+    {
+        return state.load(std::memory_order_relaxed) >> pinCountShift;
+    }
+};
+
+static_assert(sizeof(HandleTableEntry) == 16,
+              "HTE should stay one load wide plus metadata");
+
+/**
+ * The single-level handle table.
+ *
+ * Thread safety: allocate()/release() may be called concurrently; reads
+ * of entries through translation are lock-free.
+ */
+class HandleTable
+{
+  public:
+    /**
+     * Reserve a table with the given capacity (entries). The memory is
+     * mapped with MAP_NORESERVE so only touched pages consume RSS,
+     * matching the paper's "mmap it in its entirety at startup" scheme.
+     */
+    explicit HandleTable(uint32_t capacity);
+    ~HandleTable();
+
+    HandleTable(const HandleTable &) = delete;
+    HandleTable &operator=(const HandleTable &) = delete;
+
+    /**
+     * Allocate a fresh entry.
+     * @return its handle ID.
+     */
+    uint32_t allocate();
+
+    /** Return an entry to the free list. */
+    void release(uint32_t id);
+
+    /** Access an entry by ID (bounds-checked in debug). */
+    HandleTableEntry &entry(uint32_t id);
+    const HandleTableEntry &entry(uint32_t id) const;
+
+    /** Base pointer, for the inline translation fast path. */
+    HandleTableEntry *base() { return table_; }
+
+    /** Capacity in entries. */
+    uint32_t capacity() const { return capacity_; }
+
+    /**
+     * One past the highest ID ever allocated; IDs >= this are untouched.
+     * Barriers size their pinned-set bitmaps from this watermark.
+     */
+    uint32_t watermark() const;
+
+    /** Number of currently live (allocated) entries. */
+    uint32_t liveCount() const;
+
+  private:
+    HandleTableEntry *table_ = nullptr;
+    uint32_t capacity_ = 0;
+    std::atomic<uint32_t> bump_{0};
+    std::atomic<uint32_t> live_{0};
+    std::mutex freeMutex_;
+    std::vector<uint32_t> freeList_;
+};
+
+} // namespace alaska
+
+#endif // ALASKA_CORE_HANDLE_TABLE_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The "no service" configuration of the paper's evaluation (§5.4):
+ * backing memory comes straight from libc malloc. Used to measure the
+ * pure cost of translation + pin tracking (Figures 7 and 8) without any
+ * mobility-exploiting service in the loop.
+ */
+
+#ifndef ALASKA_CORE_MALLOC_SERVICE_H
+#define ALASKA_CORE_MALLOC_SERVICE_H
+
+#include <atomic>
+
+#include "core/service.h"
+
+namespace alaska
+{
+
+/** malloc-backed service; objects never move. */
+class MallocService : public Service
+{
+  public:
+    void init(Runtime &runtime) override;
+    void deinit() override;
+
+    void *alloc(uint32_t id, size_t size) override;
+    void free(uint32_t id, void *ptr) override;
+
+    size_t usableSize(const void *ptr) const override;
+    size_t heapExtent() const override;
+    size_t activeBytes() const override;
+    const char *name() const override { return "malloc"; }
+
+  private:
+    std::atomic<size_t> active_{0};
+    std::atomic<size_t> peak_{0};
+};
+
+} // namespace alaska
+
+#endif // ALASKA_CORE_MALLOC_SERVICE_H

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Pin sets (paper §3.4, §4.1.3).
+ *
+ * A PinFrame is what the Alaska compiler would emit in a function's
+ * prelude: a fixed-size slot array in the stack frame, registered on the
+ * thread's shadow stack. Pinning a handle is a single plain store into a
+ * slot followed by the translation — no atomics, no heap traffic. At a
+ * barrier, the runtime walks every thread's frames to unify pin sets.
+ *
+ * The slot count per frame and the slot index per translation are static
+ * decisions; in this library the "compiler output" is either produced by
+ * the mini-compiler (src/compiler/pin_tracking) or written by hand in
+ * kernels, mirroring what the LLVM pass would have emitted.
+ */
+
+#ifndef ALASKA_CORE_PIN_H
+#define ALASKA_CORE_PIN_H
+
+#include <cstdint>
+
+#include "base/logging.h"
+#include "core/handle.h"
+#include "core/runtime.h"
+#include "core/translate.h"
+
+namespace alaska
+{
+
+/**
+ * A pin-set frame over a caller-provided, stack-resident slot array.
+ *
+ * The calling thread must be registered with the runtime.
+ */
+class PinFrame
+{
+  public:
+    PinFrame(uint64_t *slots, uint32_t count)
+        : slots_(slots), state_(Runtime::gRuntime->currentThreadState())
+    {
+        for (uint32_t i = 0; i < count; i++)
+            slots_[i] = 0;
+        state_.frames.push_back(PinFrameRecord{slots, count});
+    }
+
+    ~PinFrame() { state_.frames.pop_back(); }
+
+    PinFrame(const PinFrame &) = delete;
+    PinFrame &operator=(const PinFrame &) = delete;
+
+    /**
+     * Pin a maybe-handle into a slot and return its translation. This is
+     * the store+translate pair the compiler emits before a memory access
+     * (paper: "before a handle is translated, the handle is stored in
+     * the pin set").
+     */
+    void *
+    pin(uint32_t slot, const void *maybe_handle)
+    {
+        slots_[slot] = reinterpret_cast<uint64_t>(maybe_handle);
+        return translate(maybe_handle);
+    }
+
+    /** Typed convenience overload. */
+    template <typename T>
+    T *
+    pin(uint32_t slot, T *maybe_handle)
+    {
+        return static_cast<T *>(
+            pin(slot, static_cast<const void *>(maybe_handle)));
+    }
+
+    /**
+     * Release a slot (the compiler's release(handle) at end of the
+     * translation's live range).
+     */
+    void release(uint32_t slot) { slots_[slot] = 0; }
+
+  private:
+    uint64_t *slots_;
+    ThreadState &state_;
+};
+
+/**
+ * Declare a pin frame of n slots in the current scope. n must be a
+ * compile-time constant, exactly like the statically sized pin sets the
+ * compiler emits.
+ */
+#define ALASKA_PIN_FRAME(name, n)                                         \
+    uint64_t name##_slots[n];                                             \
+    ::alaska::PinFrame name(name##_slots, n)
+
+/**
+ * Single-handle RAII pin for non-performance-critical code: owns a
+ * one-slot frame, pins on construction, releases on destruction.
+ */
+template <typename T>
+class Pinned
+{
+  public:
+    explicit Pinned(T *maybe_handle) : frame_(&slot_, 1)
+    {
+        raw_ = frame_.pin(0, maybe_handle);
+    }
+
+    T *get() const { return raw_; }
+    T *operator->() const { return raw_; }
+    T &operator*() const { return *raw_; }
+
+  private:
+    uint64_t slot_;
+    PinFrame frame_;
+    T *raw_;
+};
+
+/**
+ * Atomic pin-count pinning — the naive strategy the paper's design
+ * section argues against (contention under high pin rates). Present only
+ * so the ablation benchmark can measure the difference; requires the
+ * runtime to be in PinMode::AtomicPins.
+ */
+class AtomicPin
+{
+  public:
+    explicit AtomicPin(const void *maybe_handle)
+    {
+        const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
+        if (isHandle(v)) {
+            entry_ = &Runtime::gRuntime->table().entry(handleId(v));
+            entry_->state.fetch_add(HandleTableEntry::pinCountOne,
+                                    std::memory_order_acq_rel);
+        }
+        raw_ = translate(maybe_handle);
+    }
+
+    ~AtomicPin()
+    {
+        if (entry_) {
+            entry_->state.fetch_sub(HandleTableEntry::pinCountOne,
+                                    std::memory_order_acq_rel);
+        }
+    }
+
+    void *get() const { return raw_; }
+
+  private:
+    HandleTableEntry *entry_ = nullptr;
+    void *raw_ = nullptr;
+};
+
+} // namespace alaska
+
+#endif // ALASKA_CORE_PIN_H

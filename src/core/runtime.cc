@@ -1,0 +1,349 @@
+#include "core/runtime.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace alaska
+{
+
+HandleTableEntry *Runtime::gTableBase = nullptr;
+std::atomic<bool> Runtime::gBarrierPending{false};
+Runtime *Runtime::gRuntime = nullptr;
+
+namespace
+{
+thread_local ThreadState *tlsState = nullptr;
+} // anonymous namespace
+
+size_t
+PinnedSet::count() const
+{
+    size_t n = 0;
+    for (uint64_t word : bits_)
+        n += static_cast<size_t>(__builtin_popcountll(word));
+    return n;
+}
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(config), table_(config.tableCapacity)
+{
+    ALASKA_ASSERT(gRuntime == nullptr,
+                  "only one Runtime may be live at a time");
+    gRuntime = this;
+    gTableBase = table_.base();
+    gBarrierPending.store(false, std::memory_order_relaxed);
+}
+
+Runtime::~Runtime()
+{
+    {
+        std::lock_guard<std::mutex> guard(threadMutex_);
+        ALASKA_ASSERT(threads_.empty(),
+                      "%zu threads still registered at runtime shutdown",
+                      threads_.size());
+    }
+    if (service_)
+        service_->deinit();
+    gTableBase = nullptr;
+    gRuntime = nullptr;
+}
+
+Runtime *
+Runtime::current()
+{
+    return gRuntime;
+}
+
+void
+Runtime::attachService(Service *service)
+{
+    ALASKA_ASSERT(service_ == nullptr, "a service is already attached");
+    service_ = service;
+    service_->init(*this);
+}
+
+Service &
+Runtime::service()
+{
+    ALASKA_ASSERT(service_ != nullptr, "no service attached");
+    return *service_;
+}
+
+void *
+Runtime::halloc(size_t size)
+{
+    if (size == 0)
+        size = 1;
+    if (size >= maxObjectSize)
+        fatal("halloc: object of %zu bytes exceeds the 4 GiB handle "
+              "offset range; use paging for such regions", size);
+    const uint32_t id = table_.allocate();
+    void *backing = service().alloc(id, size);
+    ALASKA_ASSERT(backing != nullptr, "service %s failed to allocate %zu",
+                  service().name(), size);
+    auto &e = table_.entry(id);
+    e.size = static_cast<uint32_t>(size);
+    e.ptr.store(backing, std::memory_order_release);
+    nHallocs_.fetch_add(1, std::memory_order_relaxed);
+    return reinterpret_cast<void *>(makeHandle(id, 0));
+}
+
+void *
+Runtime::hcalloc(size_t count, size_t size)
+{
+    const size_t bytes = count * size;
+    void *h = halloc(bytes);
+    auto &e = table_.entry(handleId(reinterpret_cast<uint64_t>(h)));
+    std::memset(e.ptr.load(std::memory_order_relaxed), 0, bytes ? bytes : 1);
+    return h;
+}
+
+void *
+Runtime::hrealloc(void *handle, size_t size)
+{
+    if (handle == nullptr)
+        return halloc(size);
+    if (size == 0) {
+        hfree(handle);
+        return nullptr;
+    }
+    const uint64_t v = reinterpret_cast<uint64_t>(handle);
+    if (!isHandle(v)) {
+        // Raw pointer from untransformed code; fall through to libc.
+        return std::realloc(handle, size);
+    }
+    ALASKA_ASSERT(handleOffset(v) == 0,
+                  "hrealloc of an interior handle (offset %u)",
+                  handleOffset(v));
+    if (size >= maxObjectSize)
+        fatal("hrealloc: %zu bytes exceeds the 4 GiB offset range", size);
+
+    const uint32_t id = handleId(v);
+    auto &e = table_.entry(id);
+    ALASKA_ASSERT(e.allocated(), "hrealloc of freed handle %u", id);
+    void *old_ptr = e.ptr.load(std::memory_order_acquire);
+    const size_t old_size = e.size;
+
+    void *new_ptr = service().alloc(id, size);
+    ALASKA_ASSERT(new_ptr != nullptr, "service %s failed to allocate %zu",
+                  service().name(), size);
+    std::memcpy(new_ptr, old_ptr, std::min(old_size, size));
+    // The handle value is unchanged: movement is a single HTE update.
+    e.size = static_cast<uint32_t>(size);
+    e.ptr.store(new_ptr, std::memory_order_release);
+    service().free(id, old_ptr);
+    nHreallocs_.fetch_add(1, std::memory_order_relaxed);
+    return handle;
+}
+
+void
+Runtime::hfree(void *handle)
+{
+    if (handle == nullptr)
+        return;
+    const uint64_t v = reinterpret_cast<uint64_t>(handle);
+    if (!isHandle(v)) {
+        std::free(handle);
+        return;
+    }
+    ALASKA_ASSERT(handleOffset(v) == 0,
+                  "hfree of an interior handle (offset %u)",
+                  handleOffset(v));
+    const uint32_t id = handleId(v);
+    auto &e = table_.entry(id);
+    ALASKA_ASSERT(e.allocated(), "double hfree of handle %u", id);
+    void *ptr = e.ptr.load(std::memory_order_acquire);
+    service().free(id, ptr);
+    table_.release(id);
+    nHfrees_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t
+Runtime::usableSize(void *handle) const
+{
+    const uint64_t v = reinterpret_cast<uint64_t>(handle);
+    if (!isHandle(v))
+        return 0;
+    return table_.entry(handleId(v)).size;
+}
+
+// --- threads --------------------------------------------------------------
+
+ThreadRegistration::ThreadRegistration(Runtime &runtime) : runtime_(runtime)
+{
+    state_ = runtime_.registerThread();
+    // If a barrier started before we registered, join it immediately.
+    if (Runtime::barrierPending())
+        runtime_.park();
+}
+
+ThreadRegistration::~ThreadRegistration()
+{
+    runtime_.unregisterThread(state_);
+}
+
+ThreadState *
+Runtime::registerThread()
+{
+    ALASKA_ASSERT(tlsState == nullptr, "thread registered twice");
+    auto state = std::make_unique<ThreadState>();
+    ThreadState *raw = state.get();
+    {
+        std::lock_guard<std::mutex> guard(threadMutex_);
+        threads_.push_back(std::move(state));
+    }
+    tlsState = raw;
+    threadCv_.notify_all();
+    return raw;
+}
+
+void
+Runtime::unregisterThread(ThreadState *state)
+{
+    ALASKA_ASSERT(state->frames.empty(),
+                  "thread exiting with %zu live pin frames",
+                  state->frames.size());
+    {
+        std::lock_guard<std::mutex> guard(threadMutex_);
+        for (auto it = threads_.begin(); it != threads_.end(); ++it) {
+            if (it->get() == state) {
+                threads_.erase(it);
+                break;
+            }
+        }
+    }
+    tlsState = nullptr;
+    threadCv_.notify_all();
+}
+
+ThreadState &
+Runtime::currentThreadState()
+{
+    ALASKA_ASSERT(tlsState != nullptr,
+                  "current thread is not registered with the runtime");
+    return *tlsState;
+}
+
+size_t
+Runtime::threadCount() const
+{
+    std::lock_guard<std::mutex> guard(threadMutex_);
+    return threads_.size();
+}
+
+// --- barrier ----------------------------------------------------------------
+
+void
+Runtime::park()
+{
+    ThreadState &state = currentThreadState();
+    std::unique_lock<std::mutex> lock(threadMutex_);
+    state.mode.store(ThreadMode::Parked, std::memory_order_release);
+    state.parks++;
+    threadCv_.notify_all();
+    threadCv_.wait(lock, [] { return !barrierPending(); });
+    state.mode.store(ThreadMode::Managed, std::memory_order_release);
+}
+
+void
+Runtime::enterExternal()
+{
+    ThreadState &state = currentThreadState();
+    std::lock_guard<std::mutex> guard(threadMutex_);
+    state.mode.store(ThreadMode::External, std::memory_order_release);
+    threadCv_.notify_all();
+}
+
+void
+Runtime::leaveExternal()
+{
+    ThreadState &state = currentThreadState();
+    std::unique_lock<std::mutex> lock(threadMutex_);
+    // Cannot resume mutating while a barrier is in progress.
+    threadCv_.wait(lock, [] { return !barrierPending(); });
+    state.mode.store(ThreadMode::Managed, std::memory_order_release);
+}
+
+PinnedSet
+Runtime::unifyPinSets()
+{
+    PinnedSet pinned(table_.watermark());
+    for (const auto &thread : threads_) {
+        for (const auto &frame : thread->frames) {
+            for (uint32_t i = 0; i < frame.count; i++) {
+                const uint64_t v = frame.slots[i];
+                if (isHandle(v))
+                    pinned.add(handleId(v));
+            }
+        }
+    }
+    if (config_.pinMode == PinMode::AtomicPins) {
+        const uint32_t wm = table_.watermark();
+        for (uint32_t id = 0; id < wm; id++) {
+            if (table_.entry(id).atomicPinCount() > 0)
+                pinned.add(id);
+        }
+    }
+    return pinned;
+}
+
+void
+Runtime::barrier(const std::function<void(const PinnedSet &)> &fn)
+{
+    // Serialize whole barriers against each other.
+    std::lock_guard<std::mutex> barrier_guard(barrierMutex_);
+    gBarrierPending.store(true, std::memory_order_seq_cst);
+
+    ThreadState *self = tlsState;
+    std::unique_lock<std::mutex> lock(threadMutex_);
+    threadCv_.wait(lock, [&] {
+        for (const auto &thread : threads_) {
+            if (thread.get() == self)
+                continue;
+            if (thread->mode.load(std::memory_order_acquire) ==
+                ThreadMode::Managed) {
+                return false;
+            }
+        }
+        return true;
+    });
+
+    PinnedSet pinned = unifyPinSets();
+    fn(pinned);
+    nBarriers_.fetch_add(1, std::memory_order_relaxed);
+
+    gBarrierPending.store(false, std::memory_order_seq_cst);
+    lock.unlock();
+    threadCv_.notify_all();
+}
+
+void *
+Runtime::handleFault(uint32_t id)
+{
+    nFaults_.fetch_add(1, std::memory_order_relaxed);
+    return service().fault(id);
+}
+
+RuntimeStats
+Runtime::stats() const
+{
+    RuntimeStats s;
+    s.hallocs = nHallocs_.load(std::memory_order_relaxed);
+    s.hfrees = nHfrees_.load(std::memory_order_relaxed);
+    s.hreallocs = nHreallocs_.load(std::memory_order_relaxed);
+    s.barriers = nBarriers_.load(std::memory_order_relaxed);
+    s.faults = nFaults_.load(std::memory_order_relaxed);
+    return s;
+}
+
+// --- service default --------------------------------------------------------
+
+void *
+Service::fault(uint32_t id)
+{
+    panic("service does not support handle faults (handle %u)", id);
+}
+
+} // namespace alaska

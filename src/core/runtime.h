@@ -1,0 +1,241 @@
+/**
+ * @file
+ * The Alaska core runtime (paper §4.2): handle allocation, pin tracking,
+ * and stop-the-world barriers, with backing memory delegated to a
+ * pluggable Service.
+ *
+ * One Runtime may be live at a time (the translation fast path goes
+ * through process-global state, mirroring the paper's fixed-address
+ * handle table). Tests construct and destroy runtimes sequentially.
+ */
+
+#ifndef ALASKA_CORE_RUNTIME_H
+#define ALASKA_CORE_RUNTIME_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/handle.h"
+#include "core/handle_table.h"
+#include "core/service.h"
+#include "core/thread_state.h"
+
+namespace alaska
+{
+
+/** Pin tracking strategy; AtomicPins exists only for the ablation. */
+enum class PinMode
+{
+    /** Paper default: private per-frame pin sets, no atomics. */
+    StackPinSets,
+    /** Naive scheme the paper argues against: atomic per-HTE counts. */
+    AtomicPins,
+};
+
+/** Configuration for a Runtime. */
+struct RuntimeConfig
+{
+    /** Handle table capacity (entries). */
+    uint32_t tableCapacity = 1U << 22;
+    /** Pin tracking mode. */
+    PinMode pinMode = PinMode::StackPinSets;
+};
+
+/**
+ * The set of handles found pinned during a barrier.
+ *
+ * Backed by a bitmap sized from the handle-table watermark.
+ */
+class PinnedSet
+{
+  public:
+    PinnedSet() = default;
+    explicit PinnedSet(uint32_t watermark)
+        : bits_((watermark + 63) / 64, 0), limit_(watermark)
+    {}
+
+    void
+    add(uint32_t id)
+    {
+        if (id < limit_)
+            bits_[id >> 6] |= (1ULL << (id & 63));
+    }
+
+    bool
+    contains(uint32_t id) const
+    {
+        if (id >= limit_)
+            return false;
+        return bits_[id >> 6] & (1ULL << (id & 63));
+    }
+
+    /** Number of pinned handles. */
+    size_t count() const;
+
+  private:
+    std::vector<uint64_t> bits_;
+    uint32_t limit_ = 0;
+};
+
+/** Aggregate runtime statistics. */
+struct RuntimeStats
+{
+    uint64_t hallocs = 0;
+    uint64_t hfrees = 0;
+    uint64_t hreallocs = 0;
+    uint64_t barriers = 0;
+    uint64_t faults = 0;
+};
+
+class Runtime;
+
+/**
+ * RAII registration of the current thread with a runtime. Must be alive
+ * for the whole period the thread executes managed code.
+ */
+class ThreadRegistration
+{
+  public:
+    explicit ThreadRegistration(Runtime &runtime);
+    ~ThreadRegistration();
+
+    ThreadRegistration(const ThreadRegistration &) = delete;
+    ThreadRegistration &operator=(const ThreadRegistration &) = delete;
+
+  private:
+    Runtime &runtime_;
+    ThreadState *state_;
+};
+
+/** The core runtime. */
+class Runtime
+{
+  public:
+    explicit Runtime(RuntimeConfig config = {});
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /** The currently live runtime, or nullptr. */
+    static Runtime *current();
+
+    // --- service management ---------------------------------------------
+    /**
+     * Attach the backing-memory service. Must happen before the first
+     * halloc. The runtime does not take ownership, but it calls the
+     * service's deinit() from its own destructor — the service object
+     * must therefore outlive the Runtime.
+     */
+    void attachService(Service *service);
+    Service &service();
+
+    // --- allocation API (the malloc face of §4.2) -----------------------
+    /** Allocate size bytes behind a fresh handle. */
+    void *halloc(size_t size);
+    /** Zero-initialized variant (the calloc proxy). */
+    void *hcalloc(size_t count, size_t size);
+    /**
+     * Resize an allocation. The handle value is unchanged — only the
+     * backing memory moves, which is the whole point of handles.
+     */
+    void *hrealloc(void *handle, size_t size);
+    /** Free an allocation made by halloc. */
+    void hfree(void *handle);
+
+    /** Size requested for a live handle at halloc/hrealloc time. */
+    size_t usableSize(void *handle) const;
+
+    // --- handle table ----------------------------------------------------
+    HandleTable &table() { return table_; }
+    const HandleTable &table() const { return table_; }
+
+    // --- threads and barriers --------------------------------------------
+    /**
+     * Execute fn as a stop-the-world barrier (paper §4.1.3): waits for
+     * every registered thread to reach a safepoint (or be in external
+     * code), unifies all pin sets, and runs fn with the world stopped.
+     * fn may move any object whose handle is not in the PinnedSet by
+     * updating its HTE.
+     */
+    void barrier(const std::function<void(const PinnedSet &)> &fn);
+
+    /** True while a barrier is pending or in progress. */
+    static bool
+    barrierPending()
+    {
+        return gBarrierPending.load(std::memory_order_relaxed);
+    }
+
+    /** Park the calling thread until the current barrier completes. */
+    void park();
+
+    /**
+     * Bracket a call into external (untransformed, possibly blocking)
+     * code. While in external mode the thread's pin sets are frozen and
+     * barriers proceed without it.
+     */
+    void enterExternal();
+    void leaveExternal();
+
+    /** The calling thread's state; thread must be registered. */
+    ThreadState &currentThreadState();
+
+    /** Pin mode (see PinMode). */
+    PinMode pinMode() const { return config_.pinMode; }
+
+    // --- handle faults (§7) ----------------------------------------------
+    /**
+     * Slow path taken by checked translation when an HTE is Invalid.
+     * Delegates to the service's fault() hook.
+     * @return the fresh base pointer of the object.
+     */
+    void *handleFault(uint32_t id);
+
+    /** Runtime statistics snapshot. */
+    RuntimeStats stats() const;
+
+    /** Number of registered threads. */
+    size_t threadCount() const;
+
+    // Fast-path globals (see translate.h). Treat as private.
+    static HandleTableEntry *gTableBase;
+    static std::atomic<bool> gBarrierPending;
+    static Runtime *gRuntime;
+
+  private:
+    friend class ThreadRegistration;
+
+    ThreadState *registerThread();
+    void unregisterThread(ThreadState *state);
+
+    /** Collect the pinned set from all threads' pin frames. */
+    PinnedSet unifyPinSets();
+
+    RuntimeConfig config_;
+    HandleTable table_;
+    Service *service_ = nullptr;
+
+    mutable std::mutex threadMutex_;
+    std::condition_variable threadCv_;
+    std::vector<std::unique_ptr<ThreadState>> threads_;
+
+    /** Serializes whole barriers against each other. */
+    std::mutex barrierMutex_;
+
+    std::atomic<uint64_t> nHallocs_{0};
+    std::atomic<uint64_t> nHfrees_{0};
+    std::atomic<uint64_t> nHreallocs_{0};
+    std::atomic<uint64_t> nBarriers_{0};
+    std::atomic<uint64_t> nFaults_{0};
+};
+
+} // namespace alaska
+
+#endif // ALASKA_CORE_RUNTIME_H

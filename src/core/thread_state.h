@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-thread runtime state: the pin-set shadow stack and the safepoint
+ * mode used by the stop-the-world barrier (paper §3.4, §4.1.3).
+ *
+ * In the paper, pin sets live directly in stack frames and are found at
+ * barrier time by walking the native stack with LLVM StackMaps +
+ * libunwind. Without an LLVM backend we keep an explicit shadow stack of
+ * frame records per thread: each compiler-shaped function pushes one
+ * record pointing at its stack-resident slot array. The data layout and
+ * the no-atomics property are preserved: pin stores are plain writes to
+ * the thread's own stack.
+ */
+
+#ifndef ALASKA_CORE_THREAD_STATE_H
+#define ALASKA_CORE_THREAD_STATE_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace alaska
+{
+
+/** Where a thread stands with respect to barriers. */
+enum class ThreadMode : int
+{
+    /** Executing managed (transformed) code; must poll safepoints. */
+    Managed = 0,
+    /** Parked at a safepoint inside a barrier. */
+    Parked = 1,
+    /**
+     * Executing external (untransformed) code, possibly blocked in the
+     * kernel. Barriers do not wait for these threads: no pin sets can
+     * exist below the external frame (paper §4.1.3).
+     */
+    External = 2,
+};
+
+/** One pin-set frame: a view of a slot array living on the call stack. */
+struct PinFrameRecord
+{
+    /** Slot array; each slot holds a handle value or 0. */
+    const uint64_t *slots = nullptr;
+    /** Number of slots (decided statically per function). */
+    uint32_t count = 0;
+};
+
+/** All barrier-relevant state of one registered thread. */
+struct ThreadState
+{
+    std::atomic<ThreadMode> mode{ThreadMode::Managed};
+    /** Shadow stack of pin-set frames; owner-writable only. */
+    std::vector<PinFrameRecord> frames;
+    /** Statistics: how many times this thread parked in a barrier. */
+    uint64_t parks = 0;
+
+    ThreadState() { frames.reserve(64); }
+};
+
+} // namespace alaska
+
+#endif // ALASKA_CORE_THREAD_STATE_H

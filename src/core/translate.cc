@@ -1,0 +1,23 @@
+#include "core/translate.h"
+
+namespace alaska
+{
+
+void *
+translateChecked(const void *maybe_handle)
+{
+    const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
+    if (static_cast<int64_t>(v) >= 0)
+        return const_cast<void *>(maybe_handle);
+    const uint32_t id = (v >> 32) & (maxHandleId - 1);
+    const HandleTableEntry &e = Runtime::gTableBase[id];
+    if (__builtin_expect(e.invalid(), 0)) {
+        // Trap to the runtime; the service restores the object.
+        void *base = Runtime::gRuntime->handleFault(id);
+        return static_cast<char *>(base) + static_cast<uint32_t>(v);
+    }
+    return static_cast<char *>(e.ptr.load(std::memory_order_relaxed)) +
+           static_cast<uint32_t>(v);
+}
+
+} // namespace alaska

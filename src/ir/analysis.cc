@@ -1,0 +1,412 @@
+#include "ir/analysis.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace alaska::ir
+{
+
+// --- DominatorTree ----------------------------------------------------------
+
+DominatorTree::DominatorTree(Function &function) : function_(function)
+{
+    function.computeCfg();
+
+    // Postorder DFS from the entry, then reverse.
+    std::unordered_set<BasicBlock *> visited;
+    std::vector<BasicBlock *> postorder;
+    std::vector<std::pair<BasicBlock *, size_t>> stack;
+    stack.emplace_back(function.entry(), 0);
+    visited.insert(function.entry());
+    while (!stack.empty()) {
+        auto &[block, next] = stack.back();
+        const auto succs = block->successors();
+        if (next < succs.size()) {
+            BasicBlock *succ = succs[next++];
+            if (visited.insert(succ).second)
+                stack.emplace_back(succ, 0);
+        } else {
+            postorder.push_back(block);
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    for (size_t i = 0; i < rpo_.size(); i++)
+        rpoIndex_[rpo_[i]] = static_cast<int>(i);
+
+    // Cooper-Harvey-Kennedy iteration.
+    idom_[function.entry()] = function.entry();
+    bool changed = true;
+    auto intersect = [&](BasicBlock *a, BasicBlock *b) {
+        while (a != b) {
+            while (rpoIndex_.at(a) > rpoIndex_.at(b))
+                a = idom_.at(a);
+            while (rpoIndex_.at(b) > rpoIndex_.at(a))
+                b = idom_.at(b);
+        }
+        return a;
+    };
+    while (changed) {
+        changed = false;
+        for (BasicBlock *block : rpo_) {
+            if (block == function.entry())
+                continue;
+            BasicBlock *new_idom = nullptr;
+            for (BasicBlock *pred : block->preds) {
+                if (!idom_.count(pred))
+                    continue; // unprocessed or unreachable
+                new_idom = new_idom ? intersect(pred, new_idom) : pred;
+            }
+            ALASKA_ASSERT(new_idom != nullptr,
+                          "block %s unreachable from entry",
+                          block->name.c_str());
+            auto it = idom_.find(block);
+            if (it == idom_.end() || it->second != new_idom) {
+                idom_[block] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+int
+DominatorTree::rpoIndex(const BasicBlock *block) const
+{
+    auto it = rpoIndex_.find(block);
+    return it == rpoIndex_.end() ? -1 : it->second;
+}
+
+BasicBlock *
+DominatorTree::idom(const BasicBlock *block) const
+{
+    if (block == function_.entry())
+        return nullptr;
+    auto it = idom_.find(block);
+    return it == idom_.end() ? nullptr : it->second;
+}
+
+bool
+DominatorTree::dominates(const BasicBlock *a, const BasicBlock *b) const
+{
+    if (rpoIndex(a) < 0 || rpoIndex(b) < 0)
+        return false;
+    const BasicBlock *walk = b;
+    for (;;) {
+        if (walk == a)
+            return true;
+        if (walk == function_.entry())
+            return false;
+        walk = idom_.at(walk);
+    }
+}
+
+bool
+DominatorTree::dominates(const Instruction *a, const Instruction *b) const
+{
+    if (a->parent == b->parent) {
+        return a->parent->indexOf(a) < b->parent->indexOf(b);
+    }
+    return dominates(a->parent, b->parent);
+}
+
+BasicBlock *
+DominatorTree::nearestCommonDominator(BasicBlock *a, BasicBlock *b) const
+{
+    BasicBlock *x = a;
+    while (!dominates(x, b))
+        x = idom_.at(x);
+    return x;
+}
+
+// --- LoopInfo ---------------------------------------------------------------
+
+LoopInfo::LoopInfo(Function &function, const DominatorTree &domtree)
+{
+    // Find back edges and group them by header.
+    std::unordered_map<BasicBlock *, std::vector<BasicBlock *>> latches;
+    for (auto &block : function.blocks) {
+        for (BasicBlock *succ : block->successors()) {
+            if (domtree.dominates(succ, block.get()))
+                latches[succ].push_back(block.get());
+        }
+    }
+
+    // Natural loop body: header plus everything that reaches a latch
+    // without passing through the header.
+    for (auto &[header, latch_list] : latches) {
+        auto loop = std::make_unique<Loop>();
+        loop->header = header;
+        loop->blocks.insert(header);
+        std::vector<BasicBlock *> work(latch_list.begin(),
+                                       latch_list.end());
+        while (!work.empty()) {
+            BasicBlock *block = work.back();
+            work.pop_back();
+            if (!loop->blocks.insert(block).second)
+                continue;
+            for (BasicBlock *pred : block->preds) {
+                if (!loop->blocks.count(pred))
+                    work.push_back(pred);
+            }
+        }
+        loops_.push_back(std::move(loop));
+    }
+
+    // Nesting: smallest strict superset is the parent.
+    std::sort(loops_.begin(), loops_.end(),
+              [](const auto &a, const auto &b) {
+                  return a->blocks.size() < b->blocks.size();
+              });
+    for (size_t i = 0; i < loops_.size(); i++) {
+        for (size_t j = i + 1; j < loops_.size(); j++) {
+            if (loops_[j]->blocks.size() > loops_[i]->blocks.size() &&
+                loops_[j]->contains(loops_[i]->header)) {
+                loops_[i]->parent = loops_[j].get();
+                loops_[j]->children.push_back(loops_[i].get());
+                break;
+            }
+        }
+    }
+    for (auto &loop : loops_) {
+        int depth = 1;
+        for (Loop *up = loop->parent; up; up = up->parent)
+            depth++;
+        loop->depth = depth;
+    }
+
+    // Innermost map: loops_ is sorted by size, so first hit wins.
+    for (auto &block : function.blocks) {
+        for (auto &loop : loops_) {
+            if (loop->contains(block.get())) {
+                innermost_[block.get()] = loop.get();
+                break;
+            }
+        }
+    }
+
+    for (auto &loop : loops_)
+        findPreheader(*loop);
+}
+
+void
+LoopInfo::findPreheader(Loop &loop)
+{
+    BasicBlock *outside = nullptr;
+    for (BasicBlock *pred : loop.header->preds) {
+        if (loop.contains(pred))
+            continue;
+        if (outside) {
+            return; // multiple outside preds: not canonical
+        }
+        outside = pred;
+    }
+    if (outside && outside->successors().size() == 1)
+        loop.preheader = outside;
+}
+
+Loop *
+LoopInfo::innermostLoop(const BasicBlock *block) const
+{
+    auto it = innermost_.find(const_cast<BasicBlock *>(block));
+    return it == innermost_.end() ? nullptr : it->second;
+}
+
+int
+ensurePreheaders(Function &function)
+{
+    int created = 0;
+    for (;;) {
+        DominatorTree domtree(function);
+        LoopInfo loop_info(function, domtree);
+        Loop *todo = nullptr;
+        for (auto &loop : loop_info.loops()) {
+            if (!loop->preheader) {
+                todo = loop.get();
+                break;
+            }
+        }
+        if (!todo)
+            return created;
+
+        BasicBlock *header = todo->header;
+        BasicBlock *pre =
+            function.addBlock(header->name + ".preheader");
+
+        std::vector<BasicBlock *> outside;
+        for (BasicBlock *pred : header->preds) {
+            if (!todo->contains(pred))
+                outside.push_back(pred);
+        }
+
+        // Redirect outside edges into the preheader.
+        for (BasicBlock *pred : outside) {
+            for (BasicBlock *&target : pred->terminator()->targets) {
+                if (target == header)
+                    target = pre;
+            }
+        }
+
+        // Rewire header phis: their outside incomings merge in the
+        // preheader (via a new phi if there is more than one).
+        for (auto &inst : header->insts) {
+            if (inst->op != Op::Phi)
+                continue;
+            std::vector<Instruction *> values;
+            std::vector<BasicBlock *> preds;
+            // Partition incoming pairs.
+            std::vector<Instruction *> keep_values;
+            std::vector<BasicBlock *> keep_blocks;
+            for (size_t k = 0; k < inst->operands.size(); k++) {
+                if (todo->contains(inst->phiBlocks[k])) {
+                    keep_values.push_back(inst->operands[k]);
+                    keep_blocks.push_back(inst->phiBlocks[k]);
+                } else {
+                    values.push_back(inst->operands[k]);
+                    preds.push_back(inst->phiBlocks[k]);
+                }
+            }
+            Instruction *merged;
+            if (values.size() == 1) {
+                merged = values[0];
+            } else {
+                auto phi = std::make_unique<Instruction>(Op::Phi);
+                phi->operands = values;
+                phi->phiBlocks = preds;
+                merged = pre->append(std::move(phi));
+            }
+            keep_values.push_back(merged);
+            keep_blocks.push_back(pre);
+            inst->operands = std::move(keep_values);
+            inst->phiBlocks = std::move(keep_blocks);
+        }
+
+        auto br = std::make_unique<Instruction>(Op::Br);
+        br->targets = {header};
+        pre->append(std::move(br));
+        function.computeCfg();
+        created++;
+    }
+}
+
+// --- Liveness ---------------------------------------------------------------
+
+Liveness::Liveness(Function &function) : function_(function)
+{
+    function.computeCfg();
+    for (auto &block : function.blocks) {
+        liveIn_[block.get()] = {};
+        liveOut_[block.get()] = {};
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Backward iteration converges faster but correctness only
+        // needs a fixpoint.
+        for (auto it = function.blocks.rbegin();
+             it != function.blocks.rend(); ++it) {
+            BasicBlock *block = it->get();
+
+            std::unordered_set<Instruction *> out;
+            for (BasicBlock *succ : block->successors()) {
+                for (Instruction *v : liveIn_.at(succ)) {
+                    if (v->parent != succ || v->op != Op::Phi)
+                        out.insert(v);
+                }
+                // Phi operands are live out of the matching pred only.
+                for (auto &inst : succ->insts) {
+                    if (inst->op != Op::Phi)
+                        continue;
+                    for (size_t k = 0; k < inst->operands.size(); k++) {
+                        if (inst->phiBlocks[k] == block &&
+                            inst->operands[k]->producesValue()) {
+                            out.insert(inst->operands[k]);
+                        }
+                    }
+                }
+            }
+
+            std::unordered_set<Instruction *> in = out;
+            for (auto rit = block->insts.rbegin();
+                 rit != block->insts.rend(); ++rit) {
+                Instruction *inst = rit->get();
+                in.erase(inst);
+                if (inst->op == Op::Phi)
+                    continue; // operands attributed to preds
+                for (Instruction *operand : inst->operands) {
+                    if (operand->producesValue())
+                        in.insert(operand);
+                }
+            }
+            if (out != liveOut_.at(block)) {
+                liveOut_[block] = std::move(out);
+                changed = true;
+            }
+            if (in != liveIn_.at(block)) {
+                liveIn_[block] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+Liveness::liveAfter(const Instruction *value, const Instruction *at) const
+{
+    const BasicBlock *block = at->parent;
+    const int at_idx = block->indexOf(at);
+    // A live range starts at the definition: a value defined after
+    // `at` (or not flowing into this block at all) is not live here.
+    if (value->parent == block) {
+        if (block->indexOf(value) > at_idx)
+            return false;
+    } else if (!liveIn_.at(block).count(
+                   const_cast<Instruction *>(value))) {
+        return false;
+    }
+    if (liveOut_.at(block).count(const_cast<Instruction *>(value)))
+        return true;
+    for (size_t i = at_idx + 1; i < block->insts.size(); i++) {
+        const Instruction *inst = block->insts[i].get();
+        if (inst->op == Op::Phi)
+            continue;
+        for (const Instruction *operand : inst->operands) {
+            if (operand == value)
+                return true;
+        }
+    }
+    return false;
+}
+
+std::vector<Instruction *>
+Liveness::lastUses(const Instruction *value) const
+{
+    std::vector<Instruction *> result;
+    for (auto &block : function_.blocks) {
+        BasicBlock *b = block.get();
+        const bool flows_in =
+            liveIn_.at(b).count(const_cast<Instruction *>(value)) > 0 ||
+            value->parent == b;
+        if (!flows_in)
+            continue;
+        if (liveOut_.at(b).count(const_cast<Instruction *>(value)))
+            continue; // dies in a later block
+        // Find the last non-phi use in this block.
+        for (auto rit = b->insts.rbegin(); rit != b->insts.rend(); ++rit) {
+            Instruction *inst = rit->get();
+            if (inst->op == Op::Phi)
+                continue;
+            bool uses = false;
+            for (Instruction *operand : inst->operands)
+                uses |= (operand == value);
+            if (uses) {
+                result.push_back(inst);
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace alaska::ir

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * CFG analyses: dominator tree, natural-loop nesting tree, and liveness
+ * — the three ingredients of the paper's Algorithm 1, its hoisting rule,
+ * and the release/pin-set passes (§4.1.2, §4.1.3).
+ */
+
+#ifndef ALASKA_IR_ANALYSIS_H
+#define ALASKA_IR_ANALYSIS_H
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace alaska::ir
+{
+
+/** Dominator tree (Cooper-Harvey-Kennedy iterative algorithm). */
+class DominatorTree
+{
+  public:
+    explicit DominatorTree(Function &function);
+
+    /** Immediate dominator; nullptr for the entry block. */
+    BasicBlock *idom(const BasicBlock *block) const;
+
+    /** Reflexive block dominance. */
+    bool dominates(const BasicBlock *a, const BasicBlock *b) const;
+
+    /**
+     * Instruction dominance: a's value is available at b. Within a
+     * block this is list order; across blocks, block dominance.
+     */
+    bool dominates(const Instruction *a, const Instruction *b) const;
+
+    /** Nearest common dominator of two blocks. */
+    BasicBlock *nearestCommonDominator(BasicBlock *a, BasicBlock *b) const;
+
+    /** Blocks in reverse post order. */
+    const std::vector<BasicBlock *> &rpo() const { return rpo_; }
+
+  private:
+    int rpoIndex(const BasicBlock *block) const;
+
+    Function &function_;
+    std::vector<BasicBlock *> rpo_;
+    std::unordered_map<const BasicBlock *, int> rpoIndex_;
+    std::unordered_map<const BasicBlock *, BasicBlock *> idom_;
+};
+
+/** One natural loop. */
+struct Loop
+{
+    BasicBlock *header = nullptr;
+    std::unordered_set<BasicBlock *> blocks;
+    Loop *parent = nullptr;
+    std::vector<Loop *> children;
+    int depth = 1;
+
+    bool
+    contains(const BasicBlock *block) const
+    {
+        return blocks.count(const_cast<BasicBlock *>(block)) > 0;
+    }
+
+    bool
+    contains(const Instruction *inst) const
+    {
+        return contains(inst->parent);
+    }
+
+    /**
+     * The dedicated preheader: the unique predecessor of the header
+     * from outside the loop, whose only successor is the header.
+     * nullptr if the loop is not in canonical form (run
+     * ensurePreheaders() first — the paper relies on LLVM's
+     * -loop-simplify for the same purpose).
+     */
+    BasicBlock *preheader = nullptr;
+};
+
+/** The loop nesting forest of a function. */
+class LoopInfo
+{
+  public:
+    LoopInfo(Function &function, const DominatorTree &domtree);
+
+    /** Innermost loop containing the block; nullptr if none. */
+    Loop *innermostLoop(const BasicBlock *block) const;
+    Loop *innermostLoop(const Instruction *inst) const
+    {
+        return innermostLoop(inst->parent);
+    }
+
+    const std::vector<std::unique_ptr<Loop>> &loops() const
+    {
+        return loops_;
+    }
+
+  private:
+    void findPreheader(Loop &loop);
+
+    std::vector<std::unique_ptr<Loop>> loops_;
+    std::unordered_map<const BasicBlock *, Loop *> innermost_;
+};
+
+/**
+ * Put every loop into canonical form by creating dedicated preheaders
+ * where they are missing (the -loop-simplify the paper relies on).
+ * Invalidates previously computed analyses.
+ * @return number of preheaders created.
+ */
+int ensurePreheaders(Function &function);
+
+/** Classic backward liveness over SSA values. */
+class Liveness
+{
+  public:
+    explicit Liveness(Function &function);
+
+    /** Is value live immediately *after* instruction at? */
+    bool liveAfter(const Instruction *value, const Instruction *at) const;
+
+    /** Live-in / live-out sets per block. */
+    const std::unordered_set<Instruction *> &
+    liveIn(const BasicBlock *block) const
+    {
+        return liveIn_.at(block);
+    }
+    const std::unordered_set<Instruction *> &
+    liveOut(const BasicBlock *block) const
+    {
+        return liveOut_.at(block);
+    }
+
+    /**
+     * The last instructions of value's live range: for each block where
+     * the value dies, the final user (or the block itself's users).
+     * Used by release insertion (§4.1.2).
+     */
+    std::vector<Instruction *> lastUses(const Instruction *value) const;
+
+  private:
+    Function &function_;
+    std::unordered_map<const BasicBlock *, std::unordered_set<Instruction *>>
+        liveIn_;
+    std::unordered_map<const BasicBlock *, std::unordered_set<Instruction *>>
+        liveOut_;
+};
+
+} // namespace alaska::ir
+
+#endif // ALASKA_IR_ANALYSIS_H

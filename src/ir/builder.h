@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Convenience builder for constructing IR programs in tests, examples
+ * and the benchmark corpus.
+ */
+
+#ifndef ALASKA_IR_BUILDER_H
+#define ALASKA_IR_BUILDER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "ir/ir.h"
+
+namespace alaska::ir
+{
+
+/** Appends instructions to a current block. */
+class Builder
+{
+  public:
+    explicit Builder(Function &function) : function_(function)
+    {
+        if (function.blocks.empty()) {
+            block_ = function.addBlock("entry");
+            for (int i = 0; i < function.numArgs; i++) {
+                auto *arg = emit(Op::Arg, {}, i);
+                function.args.push_back(arg);
+            }
+        } else {
+            block_ = function.entry();
+        }
+    }
+
+    /** Switch the insertion point to a block. */
+    void setBlock(BasicBlock *block) { block_ = block; }
+    BasicBlock *block() const { return block_; }
+
+    /** Create a new block in the function. */
+    BasicBlock *newBlock(const std::string &name)
+    {
+        return function_.addBlock(name);
+    }
+
+    /** Mark an argument as pointer-typed. */
+    void
+    declarePointerArg(int index)
+    {
+        function_.args[static_cast<size_t>(index)]->declaredPointer = true;
+    }
+
+    Instruction *constant(int64_t v) { return emit(Op::Const, {}, v); }
+    Instruction *arg(int i) { return function_.args[static_cast<size_t>(i)]; }
+
+    Instruction *add(Instruction *a, Instruction *b)
+    { return emit(Op::Add, {a, b}); }
+    Instruction *sub(Instruction *a, Instruction *b)
+    { return emit(Op::Sub, {a, b}); }
+    Instruction *mul(Instruction *a, Instruction *b)
+    { return emit(Op::Mul, {a, b}); }
+    Instruction *div(Instruction *a, Instruction *b)
+    { return emit(Op::Div, {a, b}); }
+    Instruction *shl(Instruction *a, Instruction *b)
+    { return emit(Op::Shl, {a, b}); }
+    Instruction *shr(Instruction *a, Instruction *b)
+    { return emit(Op::Shr, {a, b}); }
+    Instruction *bitAnd(Instruction *a, Instruction *b)
+    { return emit(Op::And, {a, b}); }
+    Instruction *bitOr(Instruction *a, Instruction *b)
+    { return emit(Op::Or, {a, b}); }
+    Instruction *bitXor(Instruction *a, Instruction *b)
+    { return emit(Op::Xor, {a, b}); }
+    Instruction *cmpEq(Instruction *a, Instruction *b)
+    { return emit(Op::CmpEq, {a, b}); }
+    Instruction *cmpLt(Instruction *a, Instruction *b)
+    { return emit(Op::CmpLt, {a, b}); }
+
+    /** addr = base + 8 * index. */
+    Instruction *gep(Instruction *base, Instruction *index)
+    { return emit(Op::Gep, {base, index}); }
+
+    Instruction *
+    load(Instruction *addr, bool pointer_result = false)
+    {
+        auto *inst = emit(Op::Load, {addr});
+        inst->declaredPointer = pointer_result;
+        return inst;
+    }
+
+    Instruction *store(Instruction *addr, Instruction *value)
+    { return emit(Op::Store, {addr, value}); }
+
+    Instruction *mallocBytes(Instruction *size)
+    { return emit(Op::Malloc, {size}); }
+    Instruction *freePtr(Instruction *ptr)
+    { return emit(Op::Free, {ptr}); }
+
+    Instruction *
+    phi()
+    {
+        return emit(Op::Phi, {});
+    }
+
+    /** Add an incoming (value, pred) pair to a phi. */
+    static void
+    addIncoming(Instruction *phi, Instruction *value, BasicBlock *pred)
+    {
+        ALASKA_ASSERT(phi->op == Op::Phi, "addIncoming on non-phi");
+        phi->operands.push_back(value);
+        phi->phiBlocks.push_back(pred);
+    }
+
+    Instruction *
+    br(BasicBlock *target)
+    {
+        auto *inst = emit(Op::Br, {});
+        inst->targets = {target};
+        return inst;
+    }
+
+    Instruction *
+    condBr(Instruction *cond, BasicBlock *if_true, BasicBlock *if_false)
+    {
+        auto *inst = emit(Op::CondBr, {cond});
+        inst->targets = {if_true, if_false};
+        return inst;
+    }
+
+    Instruction *
+    ret(Instruction *value = nullptr)
+    {
+        return value ? emit(Op::Ret, {value}) : emit(Op::Ret, {});
+    }
+
+    Instruction *
+    call(Function *callee, std::vector<Instruction *> call_args,
+         bool pointer_result = false)
+    {
+        auto *inst = emit(Op::Call, std::move(call_args));
+        inst->imm = calleeIndex(callee);
+        inst->declaredPointer = pointer_result;
+        return inst;
+    }
+
+    Instruction *
+    callExternal(const std::string &name,
+                 std::vector<Instruction *> call_args)
+    {
+        auto *inst = emit(Op::CallExternal, std::move(call_args));
+        inst->imm = function_.parent->externalIndex(name);
+        return inst;
+    }
+
+    Function &function() { return function_; }
+
+  private:
+    Instruction *
+    emit(Op op, std::vector<Instruction *> operands, int64_t imm = 0)
+    {
+        return block_->append(
+            std::make_unique<Instruction>(op, std::move(operands), imm));
+    }
+
+    int64_t
+    calleeIndex(Function *callee)
+    {
+        Module *module = function_.parent;
+        ALASKA_ASSERT(module != nullptr, "function not in a module");
+        for (size_t i = 0; i < module->functions.size(); i++) {
+            if (module->functions[i].get() == callee)
+                return static_cast<int64_t>(i);
+        }
+        panic("callee not in module");
+    }
+
+    Function &function_;
+    BasicBlock *block_;
+};
+
+} // namespace alaska::ir
+
+#endif // ALASKA_IR_BUILDER_H

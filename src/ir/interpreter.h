@@ -1,0 +1,78 @@
+/**
+ * @file
+ * An IR interpreter that executes programs against the *real* Alaska
+ * runtime: Halloc goes through Runtime::halloc, Translate through the
+ * production translation fast path, PinSetAlloc/PinStore build real
+ * stack pin frames, and Safepoint polls the real barrier flag. A defrag
+ * barrier can therefore move objects underneath a running interpreted
+ * program, which is how the compiler pipeline's correctness is tested
+ * end to end.
+ */
+
+#ifndef ALASKA_IR_INTERPRETER_H
+#define ALASKA_IR_INTERPRETER_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/runtime.h"
+#include "ir/ir.h"
+
+namespace alaska::ir
+{
+
+/** Dynamic execution counters (hoisting effectiveness, Figure 8). */
+struct InterpStats
+{
+    uint64_t instructions = 0;
+    uint64_t translations = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t polls = 0;
+    uint64_t pinStores = 0;
+    uint64_t externalCalls = 0;
+};
+
+/** Executes IR functions. */
+class Interpreter
+{
+  public:
+    /** An external ("precompiled") function: raw args in, value out.
+     *  Externals dereference raw pointers directly — they are exactly
+     *  the code that must never see a handle (§4.1.4). */
+    using ExternalFn = std::function<int64_t(const std::vector<int64_t> &)>;
+
+    /**
+     * @param module the program
+     * @param runtime required if the program uses Halloc/Translate/...
+     */
+    explicit Interpreter(Module &module, Runtime *runtime = nullptr);
+    ~Interpreter();
+
+    /** Register the implementation of an external function by name. */
+    void registerExternal(const std::string &name, ExternalFn fn);
+
+    /** Run a function; returns its Ret value (0 for void returns). */
+    int64_t run(Function &function, const std::vector<int64_t> &args = {});
+
+    const InterpStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+  private:
+    int64_t eval(Function &function, const std::vector<int64_t> &args,
+                 int depth);
+
+    Module &module_;
+    Runtime *runtime_;
+    std::unordered_map<std::string, ExternalFn> externals_;
+    /** Raw malloc'd blocks still live, freed on destruction. */
+    std::unordered_set<void *> rawBlocks_;
+    InterpStats stats_;
+};
+
+} // namespace alaska::ir
+
+#endif // ALASKA_IR_INTERPRETER_H

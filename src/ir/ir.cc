@@ -1,0 +1,261 @@
+#include "ir/ir.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "base/logging.h"
+
+namespace alaska::ir
+{
+
+int
+BasicBlock::indexOf(const Instruction *inst) const
+{
+    for (size_t i = 0; i < insts.size(); i++) {
+        if (insts[i].get() == inst)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+Instruction *
+BasicBlock::insertAt(size_t idx, std::unique_ptr<Instruction> inst)
+{
+    ALASKA_ASSERT(idx <= insts.size(), "bad insertion index");
+    inst->parent = this;
+    Instruction *raw = inst.get();
+    insts.insert(insts.begin() + static_cast<long>(idx), std::move(inst));
+    return raw;
+}
+
+Instruction *
+BasicBlock::append(std::unique_ptr<Instruction> inst)
+{
+    return insertAt(insts.size(), std::move(inst));
+}
+
+Instruction *
+BasicBlock::insertBefore(const Instruction *before,
+                         std::unique_ptr<Instruction> inst)
+{
+    const int idx = indexOf(before);
+    ALASKA_ASSERT(idx >= 0, "insertBefore: anchor not in block");
+    return insertAt(static_cast<size_t>(idx), std::move(inst));
+}
+
+void
+BasicBlock::erase(Instruction *inst)
+{
+    const int idx = indexOf(inst);
+    ALASKA_ASSERT(idx >= 0, "erase: instruction not in block");
+    insts.erase(insts.begin() + idx);
+}
+
+BasicBlock *
+Function::addBlock(const std::string &block_name)
+{
+    blocks.push_back(std::make_unique<BasicBlock>(block_name));
+    blocks.back()->parent = this;
+    return blocks.back().get();
+}
+
+void
+Function::computeCfg()
+{
+    for (auto &block : blocks)
+        block->preds.clear();
+    for (auto &block : blocks) {
+        for (BasicBlock *succ : block->successors())
+            succ->preds.push_back(block.get());
+    }
+}
+
+void
+Function::renumber()
+{
+    int next = 0;
+    for (auto &block : blocks) {
+        for (auto &inst : block->insts)
+            inst->id = next++;
+    }
+}
+
+size_t
+Function::instructionCount() const
+{
+    size_t n = 0;
+    for (const auto &block : blocks)
+        n += block->insts.size();
+    return n;
+}
+
+void
+Function::inferPointers()
+{
+    // Fixpoint: a value is pointer-like if it allocates, translates,
+    // is declared so (args / loads of pointer fields), or derives from
+    // a pointer through gep/phi/arithmetic on a pointer base.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &block : blocks) {
+            for (auto &inst : block->insts) {
+                if (inst->pointerLike)
+                    continue;
+                bool is_ptr = false;
+                switch (inst->op) {
+                  case Op::Malloc:
+                  case Op::Halloc:
+                  case Op::Translate:
+                    is_ptr = true;
+                    break;
+                  case Op::Arg:
+                  case Op::Load:
+                    is_ptr = inst->declaredPointer;
+                    break;
+                  case Op::Gep:
+                    is_ptr = inst->operands[0]->pointerLike;
+                    break;
+                  case Op::Phi:
+                  case Op::Add:
+                  case Op::Sub:
+                    for (Instruction *operand : inst->operands)
+                        is_ptr |= operand->pointerLike;
+                    break;
+                  default:
+                    break;
+                }
+                if (is_ptr) {
+                    inst->pointerLike = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+Function *
+Module::addFunction(const std::string &name, int num_args)
+{
+    functions.push_back(std::make_unique<Function>(name, num_args));
+    functions.back()->parent = this;
+    return functions.back().get();
+}
+
+Function *
+Module::function(const std::string &name) const
+{
+    for (const auto &fn : functions) {
+        if (fn->name == name)
+            return fn.get();
+    }
+    return nullptr;
+}
+
+int
+Module::externalIndex(const std::string &name)
+{
+    for (size_t i = 0; i < externals.size(); i++) {
+        if (externals[i] == name)
+            return static_cast<int>(i);
+    }
+    externals.push_back(name);
+    return static_cast<int>(externals.size() - 1);
+}
+
+size_t
+Module::instructionCount() const
+{
+    size_t n = 0;
+    for (const auto &fn : functions)
+        n += fn->instructionCount();
+    return n;
+}
+
+namespace
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Const: return "const";
+      case Op::Arg: return "arg";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::Shl: return "shl";
+      case Op::Shr: return "shr";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::CmpEq: return "cmpeq";
+      case Op::CmpLt: return "cmplt";
+      case Op::Gep: return "gep";
+      case Op::Load: return "load";
+      case Op::Store: return "store";
+      case Op::Malloc: return "malloc";
+      case Op::Free: return "free";
+      case Op::Halloc: return "halloc";
+      case Op::Hfree: return "hfree";
+      case Op::Phi: return "phi";
+      case Op::Br: return "br";
+      case Op::CondBr: return "condbr";
+      case Op::Ret: return "ret";
+      case Op::Call: return "call";
+      case Op::CallExternal: return "call.ext";
+      case Op::Translate: return "translate";
+      case Op::Release: return "release";
+      case Op::PinSetAlloc: return "pinset.alloc";
+      case Op::PinStore: return "pinset.store";
+      case Op::Safepoint: return "safepoint";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+std::string
+toString(const Function &function)
+{
+    std::ostringstream out;
+    out << "func @" << function.name << "(" << function.numArgs << ")\n";
+    for (const auto &block : function.blocks) {
+        out << block->name << ":\n";
+        for (const auto &inst : block->insts) {
+            out << "  ";
+            if (inst->producesValue())
+                out << "%" << inst->id << " = ";
+            out << opName(inst->op);
+            if (inst->op == Op::Const || inst->op == Op::Arg ||
+                inst->op == Op::PinSetAlloc || inst->op == Op::PinStore) {
+                out << " #" << inst->imm;
+            }
+            for (const Instruction *operand : inst->operands)
+                out << " %" << operand->id;
+            if (inst->op == Op::Phi) {
+                out << " [";
+                for (size_t i = 0; i < inst->phiBlocks.size(); i++) {
+                    out << (i ? ", " : "") << inst->phiBlocks[i]->name;
+                }
+                out << "]";
+            }
+            for (const BasicBlock *target : inst->targets)
+                out << " ->" << target->name;
+            out << "\n";
+        }
+    }
+    return out.str();
+}
+
+std::string
+toString(const Module &module)
+{
+    std::string out;
+    for (const auto &fn : module.functions)
+        out += toString(*fn) + "\n";
+    return out;
+}
+
+} // namespace alaska::ir

@@ -1,0 +1,169 @@
+#include "ir/verifier.h"
+
+#include <unordered_set>
+
+#include "ir/analysis.h"
+
+namespace alaska::ir
+{
+
+std::string
+VerifyResult::joined() const
+{
+    std::string out;
+    for (const auto &error : errors)
+        out += error + "\n";
+    return out;
+}
+
+VerifyResult
+verify(Function &function)
+{
+    VerifyResult result;
+    auto fail = [&](const std::string &message) {
+        result.errors.push_back(function.name + ": " + message);
+    };
+
+    if (function.blocks.empty()) {
+        fail("function has no blocks");
+        return result;
+    }
+    for (auto &block : function.blocks) {
+        if (block->insts.empty() || !block->terminator()->isTerminator()) {
+            fail("block " + block->name + " lacks a terminator");
+            return result;
+        }
+        bool seen_non_phi = false;
+        for (size_t i = 0; i + 1 < block->insts.size(); i++) {
+            if (block->insts[i]->isTerminator())
+                fail("block " + block->name +
+                     " has a terminator in mid-block");
+            if (block->insts[i]->op != Op::Phi) {
+                seen_non_phi = true;
+            } else if (seen_non_phi) {
+                fail("block " + block->name + " has a non-leading phi");
+            }
+        }
+    }
+
+    function.computeCfg();
+    DominatorTree domtree(function);
+
+    for (auto &block : function.blocks) {
+        for (auto &inst : block->insts) {
+            if (inst->op == Op::Phi) {
+                // One incoming per predecessor.
+                std::unordered_set<BasicBlock *> preds(
+                    block->preds.begin(), block->preds.end());
+                if (inst->phiBlocks.size() != preds.size()) {
+                    fail("phi arity mismatch in " + block->name);
+                    continue;
+                }
+                for (size_t k = 0; k < inst->phiBlocks.size(); k++) {
+                    if (!preds.count(inst->phiBlocks[k]))
+                        fail("phi incoming from non-pred in " +
+                             block->name);
+                    // Operand must dominate the incoming edge's source.
+                    Instruction *v = inst->operands[k];
+                    if (v->producesValue() &&
+                        !domtree.dominates(
+                            v, inst->phiBlocks[k]->terminator()) &&
+                        v != inst->phiBlocks[k]->terminator()) {
+                        fail("phi operand does not dominate edge in " +
+                             block->name);
+                    }
+                }
+            } else {
+                for (Instruction *operand : inst->operands) {
+                    if (!operand->producesValue())
+                        fail("operand is not a value in " + block->name);
+                    else if (!domtree.dominates(operand, inst.get()))
+                        fail("use before def in " + block->name);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+namespace
+{
+
+/** Walk a Gep/address chain to its root value. */
+const Instruction *
+addressRoot(const Instruction *addr)
+{
+    while (addr->op == Op::Gep || addr->op == Op::Add ||
+           addr->op == Op::Sub) {
+        addr = addr->operands[0];
+    }
+    return addr;
+}
+
+} // anonymous namespace
+
+VerifyResult
+verifyTransformed(Function &function)
+{
+    VerifyResult result = verify(function);
+    auto fail = [&](const std::string &message) {
+        result.errors.push_back(function.name + ": " + message);
+    };
+
+    function.inferPointers();
+
+    int64_t pin_set_size = -1;
+    for (auto &inst : function.entry()->insts) {
+        if (inst->op == Op::PinSetAlloc)
+            pin_set_size = inst->imm;
+    }
+
+    for (auto &block : function.blocks) {
+        for (size_t i = 0; i < block->insts.size(); i++) {
+            Instruction *inst = block->insts[i].get();
+            switch (inst->op) {
+              case Op::Malloc:
+                fail("residual malloc (not rewritten to halloc)");
+                break;
+              case Op::Free:
+                fail("residual free (not rewritten to hfree)");
+                break;
+              case Op::Release:
+                fail("residual release (not consumed by pin pass)");
+                break;
+              case Op::Load:
+              case Op::Store: {
+                const Instruction *root = addressRoot(inst->operands[0]);
+                if (root->pointerLike && root->op != Op::Translate) {
+                    fail("memory access in " + block->name +
+                         " not dominated by a translation");
+                }
+                break;
+              }
+              case Op::Translate: {
+                const Instruction *root = addressRoot(inst->operands[0]);
+                if (root->op == Op::Translate)
+                    fail("translate of a translation result");
+                // The paper: "before a handle is translated, the handle
+                // is stored in the pin set".
+                if (i == 0 ||
+                    block->insts[i - 1]->op != Op::PinStore ||
+                    block->insts[i - 1]->operands[0] !=
+                        inst->operands[0]) {
+                    fail("translate without an immediately preceding "
+                         "pin of its operand");
+                } else if (pin_set_size < 0 ||
+                           block->insts[i - 1]->imm >= pin_set_size) {
+                    fail("pin slot out of range of pinset.alloc");
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace alaska::ir

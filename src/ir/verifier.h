@@ -1,0 +1,47 @@
+/**
+ * @file
+ * IR well-formedness and Alaska-invariant verification.
+ *
+ * Beyond generic SSA checks, the verifier enforces the central safety
+ * property of the translation-insertion pass (§4.1.2): "each memory
+ * access to a handle will operate on the translated pointer to its
+ * backing memory as each access is dominated by a pin".
+ */
+
+#ifndef ALASKA_IR_VERIFIER_H
+#define ALASKA_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace alaska::ir
+{
+
+/** Verification report; empty errors == valid. */
+struct VerifyResult
+{
+    std::vector<std::string> errors;
+    bool ok() const { return errors.empty(); }
+    std::string joined() const;
+};
+
+/** Generic SSA checks: terminators, dominance of uses, phi shape. */
+VerifyResult verify(Function &function);
+
+/**
+ * Alaska invariants for a fully transformed function:
+ *  - no Malloc/Free remain (all rewritten to Halloc/Hfree);
+ *  - every Load/Store address chain is rooted in a Translate (or a
+ *    non-pointer value);
+ *  - no Translate result flows into another Translate;
+ *  - every Translate is preceded by a PinStore of its operand into a
+ *    valid slot of the function's pin set;
+ *  - Release instructions have been consumed by the pin pass.
+ */
+VerifyResult verifyTransformed(Function &function);
+
+} // namespace alaska::ir
+
+#endif // ALASKA_IR_VERIFIER_H

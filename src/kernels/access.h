@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Array accessors encoding the compiler's translation placement.
+ *
+ *  - HoistedArray: one pin+translate at construction (what Algorithm 1
+ *    produces when the base is defined outside the loops — 619.lbm,
+ *    the NAS kernels, xz in the paper).
+ *  - PerAccessArray: pin+translate before *every* access (what the
+ *    compiler emits with hoisting disabled, or for bases it cannot
+ *    hoist).
+ *
+ * Kernels are templated on the accessor, so the same inner loop runs
+ * under every Figure 7/8 configuration.
+ */
+
+#ifndef ALASKA_KERNELS_ACCESS_H
+#define ALASKA_KERNELS_ACCESS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace alaska::kernels
+{
+
+/** Translation hoisted out of all loops. */
+template <typename P, typename T = int64_t>
+class HoistedArray
+{
+  public:
+    HoistedArray(typename P::Frame &frame, int slot, void *maybe_handle)
+        : raw_(static_cast<T *>(frame.pin(slot, maybe_handle)))
+    {}
+
+    T load(size_t i) const { return raw_[i]; }
+    void store(size_t i, T v) const { raw_[i] = v; }
+    T *raw() const { return raw_; }
+
+  private:
+    T *raw_;
+};
+
+/** Translation before every access (nohoisting). */
+template <typename P, typename T = int64_t>
+class PerAccessArray
+{
+  public:
+    PerAccessArray(typename P::Frame &frame, int slot, void *maybe_handle)
+        : frame_(frame), slot_(slot), handle_(maybe_handle)
+    {}
+
+    T
+    load(size_t i) const
+    {
+        return static_cast<T *>(frame_.pin(slot_, handle_))[i];
+    }
+
+    void
+    store(size_t i, T v) const
+    {
+        static_cast<T *>(frame_.pin(slot_, handle_))[i] = v;
+    }
+
+    /** Raw pointer for an escape (still pinned). */
+    T *
+    raw() const
+    {
+        return static_cast<T *>(frame_.pin(slot_, handle_));
+    }
+
+  private:
+    typename P::Frame &frame_;
+    int slot_;
+    void *handle_;
+};
+
+} // namespace alaska::kernels
+
+#endif // ALASKA_KERNELS_ACCESS_H

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Pointer policies for the benchmark kernels (Figures 7 and 8).
+ *
+ * The paper measures the native-code cost of the instructions its
+ * compiler inserts: translations (hoisted per Algorithm 1 or before
+ * every access), pin-set stores, and safepoint polls. The kernels in
+ * this library are written once against a policy that supplies exactly
+ * those operations:
+ *
+ *  - RawPolicy        — the baseline: malloc pointers, all ops no-ops.
+ *  - AlaskaPolicy     — handles: real halloc, real translation fast
+ *                       path, pin stores into a real stack pin frame,
+ *                       real safepoint polls.
+ *  - AlaskaNoTrack    — Figure 8's "notracking": translations without
+ *                       pin stores or polls.
+ *
+ * Hoisting ("nohoisting" in Figure 8) is an accessor choice, not a
+ * policy: see access.h.
+ */
+
+#ifndef ALASKA_KERNELS_POLICY_H
+#define ALASKA_KERNELS_POLICY_H
+
+#include <cstdlib>
+
+#include "core/pin.h"
+#include "core/runtime.h"
+#include "core/translate.h"
+
+namespace alaska::kernels
+{
+
+/** Max pin slots a kernel frame may use. */
+inline constexpr int frameSlots = 8;
+
+/** Baseline: raw pointers, zero-cost operations. */
+struct RawPolicy
+{
+    static constexpr const char *name = "base";
+
+    /** Pin frame stand-in: pin is the identity. */
+    class Frame
+    {
+      public:
+        void *
+        pin(int /*slot*/, const void *maybe_handle)
+        {
+            return const_cast<void *>(maybe_handle);
+        }
+    };
+
+    static void *alloc(size_t size) { return std::malloc(size); }
+    static void release(void *ptr) { std::free(ptr); }
+
+    static void *
+    translate(const void *maybe_handle)
+    {
+        return const_cast<void *>(maybe_handle);
+    }
+
+    static void poll() {}
+};
+
+/** Full Alaska: translation + tracking + polls. */
+struct AlaskaPolicy
+{
+    static constexpr const char *name = "alaska";
+
+    /** A real pin frame on the stack, as the compiler would emit. */
+    class Frame
+    {
+      public:
+        Frame() : frame_(slots_, frameSlots) {}
+
+        void *
+        pin(int slot, const void *maybe_handle)
+        {
+            return frame_.pin(static_cast<uint32_t>(slot), maybe_handle);
+        }
+
+      private:
+        uint64_t slots_[frameSlots];
+        PinFrame frame_;
+    };
+
+    static void *alloc(size_t size)
+    {
+        return Runtime::gRuntime->halloc(size);
+    }
+
+    static void release(void *ptr) { Runtime::gRuntime->hfree(ptr); }
+
+    static void *
+    translate(const void *maybe_handle)
+    {
+        return alaska::translate(maybe_handle);
+    }
+
+    static void poll() { alaska::poll(); }
+};
+
+/** Figure 8 "notracking": translations, but no pins and no polls. */
+struct AlaskaNoTrackPolicy
+{
+    static constexpr const char *name = "notracking";
+
+    class Frame
+    {
+      public:
+        void *
+        pin(int /*slot*/, const void *maybe_handle)
+        {
+            return alaska::translate(maybe_handle);
+        }
+    };
+
+    static void *alloc(size_t size)
+    {
+        return Runtime::gRuntime->halloc(size);
+    }
+
+    static void release(void *ptr) { Runtime::gRuntime->hfree(ptr); }
+
+    static void *
+    translate(const void *maybe_handle)
+    {
+        return alaska::translate(maybe_handle);
+    }
+
+    static void poll() {}
+};
+
+} // namespace alaska::kernels
+
+#endif // ALASKA_KERNELS_POLICY_H

@@ -1,0 +1,71 @@
+#include "kernels/registry.h"
+
+#include "kernels/kernels.h"
+
+namespace alaska::kernels
+{
+
+namespace
+{
+
+/** Instantiate the four configurations of one kernel template. */
+#define ALASKA_KERNEL(suite, name, stands_for, fn, chasing, scale)     \
+    KernelEntry                                                        \
+    {                                                                  \
+        suite, name, stands_for, chasing, scale,                       \
+            &fn<RawPolicy, HoistedArray>,                              \
+            &fn<AlaskaPolicy, HoistedArray>,                           \
+            &fn<AlaskaPolicy, PerAccessArray>,                         \
+            &fn<AlaskaNoTrackPolicy, HoistedArray>                     \
+    }
+
+const std::vector<KernelEntry> registry = {
+    // Embench-like
+    ALASKA_KERNEL("embench", "crc32", "crc32", crc32Kernel, false,
+                  17),
+    ALASKA_KERNEL("embench", "matmult-int", "matmult-int",
+                  matmultIntKernel, false, 144),
+    ALASKA_KERNEL("embench", "nbody", "nbody", nbodyKernel, false, 768),
+    ALASKA_KERNEL("embench", "primecount", "primecount",
+                  primecountKernel, false, 3000000),
+    ALASKA_KERNEL("embench", "listsort", "sglib/st (pointer chasing)",
+                  listSortKernel, true, 60000),
+    ALASKA_KERNEL("embench", "huffbench", "huffbench", huffbenchKernel,
+                  true, 200000),
+    // GAP-like
+    ALASKA_KERNEL("gap", "bfs", "bfs", bfsKernel, false, 200000),
+    ALASKA_KERNEL("gap", "pr", "pr/pr_spmv", pagerankKernel, false,
+                  60000),
+    ALASKA_KERNEL("gap", "sssp", "sssp", ssspKernel, false, 60000),
+    ALASKA_KERNEL("gap", "cc", "cc/cc_sv", ccKernel, false, 100000),
+    // NAS-like
+    ALASKA_KERNEL("nas", "cg", "cg", cgKernel, false, 40000),
+    ALASKA_KERNEL("nas", "mg", "mg/bt/sp/lu", mgKernel, false, 48),
+    ALASKA_KERNEL("nas", "ep", "ep", epKernel, false, 2000000),
+    ALASKA_KERNEL("nas", "is", "is", isKernel, false, 300000),
+    // SPEC-like
+    ALASKA_KERNEL("spec", "mcf-sort", "605.mcf (pointer sort)",
+                  mcfSortKernel, true, 60000),
+    ALASKA_KERNEL("spec", "lbm-grid", "619.lbm", lbmKernel, false, 160),
+    ALASKA_KERNEL("spec", "xalanc-tree",
+                  "623.xalancbmk (small-node DOM)", xalancTreeKernel,
+                  true, 100000),
+    ALASKA_KERNEL("spec", "xz-match", "657.xz", xzMatchKernel, false,
+                  1 << 18),
+    ALASKA_KERNEL("spec", "deepsjeng-tt", "631.deepsjeng (TT probes)",
+                  deepsjengTtKernel, false, 2000000),
+    ALASKA_KERNEL("spec", "imagick-conv", "638.imagick",
+                  imagickConvKernel, false, 192),
+};
+
+#undef ALASKA_KERNEL
+
+} // anonymous namespace
+
+const std::vector<KernelEntry> &
+kernelRegistry()
+{
+    return registry;
+}
+
+} // namespace alaska::kernels

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Registry of benchmark kernels with their four Figure 7/8
+ * configurations instantiated: base (raw pointers), alaska (handles,
+ * hoisted, tracked), nohoisting (handles, per-access translation),
+ * and notracking (handles, hoisted, no pins/polls).
+ */
+
+#ifndef ALASKA_KERNELS_REGISTRY_H
+#define ALASKA_KERNELS_REGISTRY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alaska::kernels
+{
+
+/** One kernel and its configuration entry points. */
+struct KernelEntry
+{
+    const char *suite; ///< "embench" | "gap" | "nas" | "spec"
+    const char *name;
+    /** Paper benchmark(s) this kernel's access shape stands in for. */
+    const char *standsFor;
+    /** Pointer-chasing kernels can't benefit from hoisting. */
+    bool pointerChasing;
+    /** Default workload scale (kernel-specific meaning). */
+    size_t scale;
+    int64_t (*base)(size_t);
+    int64_t (*alaska)(size_t);
+    int64_t (*nohoist)(size_t);
+    int64_t (*notrack)(size_t);
+};
+
+/** All kernels. Requires a live Runtime for non-base configs. */
+const std::vector<KernelEntry> &kernelRegistry();
+
+} // namespace alaska::kernels
+
+#endif // ALASKA_KERNELS_REGISTRY_H

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Allocator policies for the KV applications.
+ *
+ * The data structures (sds, dict, minikv) are written once against a
+ * policy type, mirroring how the paper's evaluation compiles the same
+ * unmodified Redis source against glibc malloc or through the Alaska
+ * compiler:
+ *
+ *  - LibcAlloc: plain malloc/free; deref is the identity. The baseline.
+ *  - AlaskaAlloc: halloc/hfree; every pointer the structure stores may
+ *    be a handle, and deref() is the translation the compiler would
+ *    have inserted (per-access granularity, i.e. the conservative
+ *    no-hoisting placement). Works with any attached service,
+ *    including Anchorage — which defragments these structures with
+ *    *zero* cooperation from the KV code.
+ *  - ModelAlloc<M>: an AllocModel (jemalloc/glibc model over a real
+ *    address space) with the defrag-hint API; this is what the
+ *    activedefrag port (minikv::defragCycle) needs, mirroring
+ *    Redis+jemalloc.
+ */
+
+#ifndef ALASKA_KV_ALLOC_POLICY_H
+#define ALASKA_KV_ALLOC_POLICY_H
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "alloc_sim/alloc_model.h"
+#include "core/runtime.h"
+#include "core/translate.h"
+
+namespace alaska::kv
+{
+
+/** Baseline: libc malloc, raw pointers. */
+class LibcAlloc
+{
+  public:
+    static constexpr bool handleBased = false;
+
+    void *alloc(size_t size) { return std::malloc(size); }
+    void free(void *ptr) { std::free(ptr); }
+
+    /** Raw pointers need no translation. */
+    template <typename T>
+    static T *
+    deref(T *ptr)
+    {
+        return ptr;
+    }
+
+    /** Defrag hints: a non-moving allocator has none. */
+    bool shouldMove(const void *) const { return false; }
+};
+
+/** Handle-based: the structure's pointers are Alaska handles. */
+class AlaskaAlloc
+{
+  public:
+    static constexpr bool handleBased = true;
+
+    explicit AlaskaAlloc(Runtime &runtime) : runtime_(runtime) {}
+
+    void *alloc(size_t size) { return runtime_.halloc(size); }
+    void free(void *ptr) { runtime_.hfree(ptr); }
+
+    /**
+     * The compiler-inserted translation, at per-access granularity.
+     * NOTE: the returned raw pointer is only stable until the next
+     * safepoint; KV operations run between polls, as compiled code
+     * would.
+     */
+    template <typename T>
+    static T *
+    deref(T *ptr)
+    {
+        return static_cast<T *>(translate(ptr));
+    }
+
+    /** Anchorage needs no application cooperation to defragment. */
+    bool shouldMove(const void *) const { return false; }
+
+    Runtime &runtime() { return runtime_; }
+
+  private:
+    Runtime &runtime_;
+};
+
+/** An AllocModel (jemalloc-like) behind the policy interface. */
+template <typename M>
+class ModelAlloc
+{
+  public:
+    static constexpr bool handleBased = false;
+
+    explicit ModelAlloc(M &model) : model_(model) {}
+
+    void *
+    alloc(size_t size)
+    {
+        return reinterpret_cast<void *>(model_.alloc(size));
+    }
+
+    void
+    free(void *ptr)
+    {
+        model_.free(reinterpret_cast<uint64_t>(ptr));
+    }
+
+    /** Tokens are real addresses when M sits on a RealAddressSpace. */
+    template <typename T>
+    static T *
+    deref(T *ptr)
+    {
+        return ptr;
+    }
+
+    /** jemalloc's defrag hint — what Redis activedefrag polls. */
+    bool
+    shouldMove(const void *ptr) const
+    {
+        return model_.shouldMove(reinterpret_cast<uint64_t>(ptr));
+    }
+
+    M &model() { return model_; }
+
+  private:
+    M &model_;
+};
+
+} // namespace alaska::kv
+
+#endif // ALASKA_KV_ALLOC_POLICY_H

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * A chained hash dictionary with incremental rehash, modeled on
+ * Redis's dict: two tables, with buckets migrated a few at a time on
+ * every operation while a resize is in progress. All stored pointers
+ * (bucket arrays, entries, keys) are maybe-handles under AlaskaAlloc.
+ */
+
+#ifndef ALASKA_KV_DICT_H
+#define ALASKA_KV_DICT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "base/logging.h"
+#include "kv/sds.h"
+
+namespace alaska::kv
+{
+
+/** One chained entry. key is an Sds; value is owner-defined. */
+struct DictEntry
+{
+    Sds key;
+    void *value;
+    DictEntry *next;
+    /** Intrusive LRU hooks (used by MiniKv). */
+    DictEntry *lruPrev;
+    DictEntry *lruNext;
+};
+
+/** The dictionary. */
+template <typename A>
+class Dict
+{
+  public:
+    explicit Dict(A &alloc) : alloc_(alloc)
+    {
+        ht_[0] = newTable(initialSize);
+        size_[0] = initialSize;
+        ht_[1] = nullptr;
+        size_[1] = 0;
+    }
+
+    ~Dict()
+    {
+        // The owner must have emptied the dict (it owns keys/values).
+        for (int t = 0; t < 2; t++) {
+            if (ht_[t])
+                alloc_.free(ht_[t]);
+        }
+    }
+
+    Dict(const Dict &) = delete;
+    Dict &operator=(const Dict &) = delete;
+
+    /**
+     * Find the entry for key; nullptr if absent. Advances incremental
+     * rehash by a step, as Redis does on every access.
+     */
+    DictEntry *
+    find(std::string_view key)
+    {
+        rehashStep();
+        const uint64_t h = bytesHash(key);
+        for (int t = 0; t < 2; t++) {
+            if (!ht_[t])
+                continue;
+            DictEntry **buckets = derefBuckets(t);
+            DictEntry *e = buckets[h & (size_[t] - 1)];
+            while (e) {
+                DictEntry *raw = A::template deref<DictEntry>(e);
+                if (sdsEquals<A>(raw->key, key))
+                    return e;
+                e = raw->next;
+            }
+        }
+        return nullptr;
+    }
+
+    /**
+     * Insert a fresh entry (key must not exist). The entry and the key
+     * sds are allocated here; the caller sets value afterwards via
+     * deref. @return the (maybe-handle) entry pointer.
+     */
+    DictEntry *
+    insert(std::string_view key)
+    {
+        rehashStep();
+        if (!rehashing() && used_ >= size_[0])
+            startRehash(size_[0] * 2);
+
+        const int t = rehashing() ? 1 : 0;
+        const uint64_t h = bytesHash(key);
+        auto *entry = static_cast<DictEntry *>(
+            alloc_.alloc(sizeof(DictEntry)));
+        Sds key_sds = sdsNew(alloc_, key);
+        DictEntry **buckets = derefBuckets(t);
+        const size_t idx = h & (size_[t] - 1);
+        DictEntry *raw_head = buckets[idx];
+        DictEntry *raw = A::template deref<DictEntry>(entry);
+        raw->key = key_sds;
+        raw->value = nullptr;
+        raw->next = raw_head;
+        raw->lruPrev = nullptr;
+        raw->lruNext = nullptr;
+        derefBuckets(t)[idx] = entry;
+        used_++;
+        return entry;
+    }
+
+    /**
+     * Unlink and return the entry for key (caller frees key/value and
+     * the entry itself); nullptr if absent.
+     */
+    DictEntry *
+    remove(std::string_view key)
+    {
+        rehashStep();
+        const uint64_t h = bytesHash(key);
+        for (int t = 0; t < 2; t++) {
+            if (!ht_[t])
+                continue;
+            DictEntry **buckets = derefBuckets(t);
+            const size_t idx = h & (size_[t] - 1);
+            DictEntry *e = buckets[idx];
+            DictEntry *prev = nullptr;
+            while (e) {
+                DictEntry *raw = A::template deref<DictEntry>(e);
+                if (sdsEquals<A>(raw->key, key)) {
+                    if (prev) {
+                        A::template deref<DictEntry>(prev)->next =
+                            raw->next;
+                    } else {
+                        derefBuckets(t)[idx] = raw->next;
+                    }
+                    used_--;
+                    return e;
+                }
+                prev = e;
+                e = raw->next;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Visit every entry: fn(DictEntry* maybe-handle). */
+    template <typename F>
+    void
+    forEach(F fn)
+    {
+        for (int t = 0; t < 2; t++) {
+            if (!ht_[t])
+                continue;
+            for (size_t i = 0; i < size_[t]; i++) {
+                DictEntry *e = derefBuckets(t)[i];
+                while (e) {
+                    DictEntry *next =
+                        A::template deref<DictEntry>(e)->next;
+                    fn(e);
+                    e = next;
+                }
+            }
+        }
+    }
+
+    size_t used() const { return used_; }
+    bool rehashing() const { return ht_[1] != nullptr; }
+    /** Total bucket slots across both tables. */
+    size_t bucketCount() const { return size_[0] + size_[1]; }
+
+    /** Bytes charged for an entry + its key (accounting helper). */
+    static size_t
+    entryOverhead(std::string_view key)
+    {
+        return sizeof(DictEntry) + sdsAllocSize(key.size());
+    }
+
+    // --- activedefrag support (the bespoke pointer surgery) -----------
+    /**
+     * Replace the bucket-array allocations if the allocator wants them
+     * moved. @return reallocations performed.
+     */
+    size_t
+    defragTables()
+    {
+        size_t moved = 0;
+        for (int t = 0; t < 2; t++) {
+            if (!ht_[t] || !alloc_.shouldMove(ht_[t]))
+                continue;
+            void *fresh = alloc_.alloc(size_[t] * sizeof(DictEntry *));
+            std::memcpy(fresh, derefBuckets(t),
+                        size_[t] * sizeof(DictEntry *));
+            alloc_.free(ht_[t]);
+            ht_[t] = fresh;
+            moved++;
+        }
+        return moved;
+    }
+
+    /**
+     * Move one entry allocation: replaces old_entry (already copied
+     * into new_entry by the caller) in its chain. This is exactly the
+     * fix-every-pointer surgery activedefrag needs and Anchorage
+     * doesn't (§5.5).
+     */
+    void
+    replaceEntry(DictEntry *old_entry, DictEntry *new_entry)
+    {
+        const uint64_t h =
+            sdsHash<A>(A::template deref<DictEntry>(old_entry)->key);
+        for (int t = 0; t < 2; t++) {
+            if (!ht_[t])
+                continue;
+            DictEntry **buckets = derefBuckets(t);
+            const size_t idx = h & (size_[t] - 1);
+            DictEntry *e = buckets[idx];
+            DictEntry *prev = nullptr;
+            while (e) {
+                if (e == old_entry) {
+                    if (prev) {
+                        A::template deref<DictEntry>(prev)->next =
+                            new_entry;
+                    } else {
+                        derefBuckets(t)[idx] = new_entry;
+                    }
+                    return;
+                }
+                prev = e;
+                e = A::template deref<DictEntry>(e)->next;
+            }
+        }
+        panic("replaceEntry: entry not found in any chain");
+    }
+
+  private:
+    static constexpr size_t initialSize = 16;
+    static constexpr int rehashBatch = 4;
+
+    void *
+    newTable(size_t size)
+    {
+        void *table = alloc_.alloc(size * sizeof(DictEntry *));
+        auto **raw =
+            A::template deref<DictEntry *>(static_cast<DictEntry **>(table));
+        for (size_t i = 0; i < size; i++)
+            raw[i] = nullptr;
+        return table;
+    }
+
+    DictEntry **
+    derefBuckets(int t)
+    {
+        return A::template deref<DictEntry *>(
+            static_cast<DictEntry **>(ht_[t]));
+    }
+
+    void
+    startRehash(size_t new_size)
+    {
+        ht_[1] = newTable(new_size);
+        size_[1] = new_size;
+        rehashIdx_ = 0;
+    }
+
+    /** Migrate a few buckets from ht0 to ht1 (Redis's dictRehash). */
+    void
+    rehashStep()
+    {
+        if (!rehashing())
+            return;
+        for (int n = 0; n < rehashBatch && rehashIdx_ < size_[0];
+             rehashIdx_++) {
+            DictEntry *e = derefBuckets(0)[rehashIdx_];
+            while (e) {
+                DictEntry *raw = A::template deref<DictEntry>(e);
+                DictEntry *next = raw->next;
+                const uint64_t h = sdsHash<A>(raw->key);
+                const size_t idx = h & (size_[1] - 1);
+                raw->next = derefBuckets(1)[idx];
+                derefBuckets(1)[idx] = e;
+                e = next;
+            }
+            derefBuckets(0)[rehashIdx_] = nullptr;
+            n++;
+        }
+        if (rehashIdx_ >= size_[0]) {
+            // ht1 becomes ht0.
+            alloc_.free(ht_[0]);
+            ht_[0] = ht_[1];
+            size_[0] = size_[1];
+            ht_[1] = nullptr;
+            size_[1] = 0;
+            rehashIdx_ = 0;
+        }
+    }
+
+    A &alloc_;
+    void *ht_[2];
+    size_t size_[2];
+    size_t rehashIdx_ = 0;
+    size_t used_ = 0;
+};
+
+} // namespace alaska::kv
+
+#endif // ALASKA_KV_DICT_H

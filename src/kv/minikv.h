@@ -1,0 +1,299 @@
+/**
+ * @file
+ * MiniKv: an in-memory key-value cache with the allocation behaviour
+ * of Redis — sds keys/values, a chained dict with incremental rehash,
+ * exact LRU eviction under a maxmemory limit, and a port of
+ * activedefrag (the bespoke, allocator-hint-driven defragmentation
+ * that the paper contrasts with Anchorage in §5.5).
+ *
+ * Under AlaskaAlloc every stored pointer is a handle; under
+ * ModelAlloc<JemallocModel> the activedefrag cycle can rewire the
+ * structures by hand, exactly like Redis does.
+ */
+
+#ifndef ALASKA_KV_MINIKV_H
+#define ALASKA_KV_MINIKV_H
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kv/dict.h"
+#include "kv/sds.h"
+
+namespace alaska::kv
+{
+
+/** Store statistics. */
+struct KvStats
+{
+    size_t keys = 0;
+    size_t usedMemory = 0;
+    size_t evictions = 0;
+    size_t defragMoves = 0;
+};
+
+/** The cache. */
+template <typename A>
+class MiniKv
+{
+  public:
+    /**
+     * @param alloc allocator policy
+     * @param maxmemory eviction threshold in (self-accounted) bytes;
+     *        0 disables eviction
+     */
+    explicit MiniKv(A &alloc, size_t maxmemory = 0)
+        : alloc_(alloc), dict_(alloc), maxMemory_(maxmemory)
+    {
+    }
+
+    ~MiniKv() { clear(); }
+
+    /** Set key to value, inserting or replacing; evicts LRU if over. */
+    void
+    set(std::string_view key, std::string_view value)
+    {
+        DictEntry *e = dict_.find(key);
+        if (e) {
+            DictEntry *raw = A::template deref<DictEntry>(e);
+            usedMemory_ -= sdsAllocSize(sdsLen<A>(raw->value));
+            sdsFree(alloc_, raw->value);
+            Sds fresh = sdsNew(alloc_, value);
+            A::template deref<DictEntry>(e)->value = fresh;
+            usedMemory_ += sdsAllocSize(value.size());
+            lruTouch(e);
+        } else {
+            e = dict_.insert(key);
+            Sds fresh = sdsNew(alloc_, value);
+            A::template deref<DictEntry>(e)->value = fresh;
+            usedMemory_ += Dict<A>::entryOverhead(key) +
+                           sdsAllocSize(value.size());
+            lruPushFront(e);
+        }
+        evictIfNeeded();
+    }
+
+    /** Get a copy of the value; nullopt on miss. Touches LRU. */
+    std::optional<std::string>
+    get(std::string_view key)
+    {
+        DictEntry *e = dict_.find(key);
+        if (!e)
+            return std::nullopt;
+        lruTouch(e);
+        return sdsToString<A>(
+            A::template deref<DictEntry>(e)->value);
+    }
+
+    /** Delete a key. @return true if it existed. */
+    bool
+    del(std::string_view key)
+    {
+        DictEntry *e = dict_.remove(key);
+        if (!e)
+            return false;
+        lruUnlink(e);
+        freeEntry(e);
+        return true;
+    }
+
+    /** Drop everything. */
+    void
+    clear()
+    {
+        while (lruTail_) {
+            DictEntry *e = lruTail_;
+            DictEntry *raw = A::template deref<DictEntry>(e);
+            dict_.remove(viewOfKey(raw));
+            lruUnlink(e);
+            freeEntry(e);
+        }
+    }
+
+    KvStats
+    stats() const
+    {
+        KvStats s;
+        s.keys = dict_.used();
+        s.usedMemory = usedMemory_;
+        s.evictions = evictions_;
+        s.defragMoves = defragMoves_;
+        return s;
+    }
+
+    size_t usedMemory() const { return usedMemory_; }
+    Dict<A> &dict() { return dict_; }
+
+    /**
+     * One activedefrag cycle: walk the keyspace, ask the allocator
+     * which allocations sit badly (jemalloc's defrag hint), and
+     * reallocate them — patching the dict chain, LRU list and value
+     * pointers by hand. This is the per-application surgery the paper
+     * says "cannot be transferred to other applications" (§1, §5.5).
+     * @return allocations moved.
+     */
+    size_t
+    defragCycle()
+    {
+        size_t moved = dict_.defragTables();
+
+        std::vector<DictEntry *> entries;
+        entries.reserve(dict_.used());
+        dict_.forEach([&](DictEntry *e) { entries.push_back(e); });
+
+        for (DictEntry *e : entries) {
+            DictEntry *raw = A::template deref<DictEntry>(e);
+            // Move the value sds?
+            if (alloc_.shouldMove(raw->value)) {
+                raw->value = moveSds(raw->value);
+                moved++;
+            }
+            // Move the key sds?
+            if (alloc_.shouldMove(raw->key)) {
+                raw->key = moveSds(raw->key);
+                moved++;
+            }
+            // Move the entry struct itself? Requires chain + LRU
+            // surgery.
+            if (alloc_.shouldMove(e)) {
+                auto *fresh = static_cast<DictEntry *>(
+                    alloc_.alloc(sizeof(DictEntry)));
+                std::memcpy(A::template deref<DictEntry>(fresh), raw,
+                            sizeof(DictEntry));
+                dict_.replaceEntry(e, fresh);
+                lruReplace(e, fresh);
+                alloc_.free(e);
+                moved++;
+            }
+        }
+        defragMoves_ += moved;
+        return moved;
+    }
+
+  private:
+    std::string_view
+    viewOfKey(DictEntry *raw)
+    {
+        auto *hdr = A::template deref<SdsHeader>(
+            static_cast<SdsHeader *>(raw->key));
+        return {hdr->data, hdr->len};
+    }
+
+    void
+    freeEntry(DictEntry *e)
+    {
+        DictEntry *raw = A::template deref<DictEntry>(e);
+        usedMemory_ -= sdsAllocSize(sdsLen<A>(raw->key)) +
+                       sdsAllocSize(sdsLen<A>(raw->value)) +
+                       sizeof(DictEntry);
+        sdsFree(alloc_, raw->key);
+        sdsFree(alloc_, raw->value);
+        alloc_.free(e);
+    }
+
+    Sds
+    moveSds(Sds old_sds)
+    {
+        const uint32_t len = sdsLen<A>(old_sds);
+        Sds fresh = alloc_.alloc(sdsAllocSize(len));
+        std::memcpy(A::template deref<SdsHeader>(
+                        static_cast<SdsHeader *>(fresh)),
+                    A::template deref<SdsHeader>(
+                        static_cast<SdsHeader *>(old_sds)),
+                    sdsAllocSize(len));
+        alloc_.free(old_sds);
+        return fresh;
+    }
+
+    // --- exact LRU (intrusive list over entries) -----------------------
+    void
+    lruPushFront(DictEntry *e)
+    {
+        DictEntry *raw = A::template deref<DictEntry>(e);
+        raw->lruPrev = nullptr;
+        raw->lruNext = lruHead_;
+        if (lruHead_)
+            A::template deref<DictEntry>(lruHead_)->lruPrev = e;
+        lruHead_ = e;
+        if (!lruTail_)
+            lruTail_ = e;
+    }
+
+    void
+    lruUnlink(DictEntry *e)
+    {
+        DictEntry *raw = A::template deref<DictEntry>(e);
+        if (raw->lruPrev) {
+            A::template deref<DictEntry>(raw->lruPrev)->lruNext =
+                raw->lruNext;
+        } else {
+            lruHead_ = raw->lruNext;
+        }
+        if (raw->lruNext) {
+            A::template deref<DictEntry>(raw->lruNext)->lruPrev =
+                raw->lruPrev;
+        } else {
+            lruTail_ = raw->lruPrev;
+        }
+        raw->lruPrev = raw->lruNext = nullptr;
+    }
+
+    void
+    lruTouch(DictEntry *e)
+    {
+        if (lruHead_ == e)
+            return;
+        lruUnlink(e);
+        lruPushFront(e);
+    }
+
+    void
+    lruReplace(DictEntry *old_entry, DictEntry *new_entry)
+    {
+        DictEntry *raw = A::template deref<DictEntry>(new_entry);
+        if (raw->lruPrev) {
+            A::template deref<DictEntry>(raw->lruPrev)->lruNext =
+                new_entry;
+        } else {
+            lruHead_ = new_entry;
+        }
+        if (raw->lruNext) {
+            A::template deref<DictEntry>(raw->lruNext)->lruPrev =
+                new_entry;
+        } else {
+            lruTail_ = new_entry;
+        }
+        (void)old_entry;
+    }
+
+    void
+    evictIfNeeded()
+    {
+        if (maxMemory_ == 0)
+            return;
+        while (usedMemory_ > maxMemory_ && lruTail_) {
+            DictEntry *victim = lruTail_;
+            DictEntry *raw = A::template deref<DictEntry>(victim);
+            dict_.remove(viewOfKey(raw));
+            lruUnlink(victim);
+            freeEntry(victim);
+            evictions_++;
+        }
+    }
+
+    A &alloc_;
+    Dict<A> dict_;
+    size_t maxMemory_;
+    size_t usedMemory_ = 0;
+    size_t evictions_ = 0;
+    size_t defragMoves_ = 0;
+    DictEntry *lruHead_ = nullptr;
+    DictEntry *lruTail_ = nullptr;
+};
+
+} // namespace alaska::kv
+
+#endif // ALASKA_KV_MINIKV_H

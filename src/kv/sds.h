@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Simple dynamic strings, modeled on Redis's sds: a length-prefixed,
+ * heap-allocated byte string. The stored pointer may be a handle under
+ * AlaskaAlloc; every access goes through the policy's deref().
+ */
+
+#ifndef ALASKA_KV_SDS_H
+#define ALASKA_KV_SDS_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace alaska::kv
+{
+
+/** Header preceding the bytes of an sds string. */
+struct SdsHeader
+{
+    uint32_t len;
+    char data[]; // NOLINT: flexible array member, as in Redis
+};
+
+/** An sds value is an opaque pointer (maybe-handle) to an SdsHeader. */
+using Sds = void *;
+
+/** Bytes charged to the allocator for a string of length len. */
+constexpr size_t
+sdsAllocSize(size_t len)
+{
+    return sizeof(SdsHeader) + len + 1;
+}
+
+/** Create an sds from bytes. */
+template <typename A>
+Sds
+sdsNew(A &alloc, std::string_view text)
+{
+    Sds s = alloc.alloc(sdsAllocSize(text.size()));
+    auto *hdr = A::template deref<SdsHeader>(static_cast<SdsHeader *>(s));
+    hdr->len = static_cast<uint32_t>(text.size());
+    std::memcpy(hdr->data, text.data(), text.size());
+    hdr->data[text.size()] = '\0';
+    return s;
+}
+
+/** Free an sds. */
+template <typename A>
+void
+sdsFree(A &alloc, Sds s)
+{
+    alloc.free(s);
+}
+
+/** Length without touching the bytes. */
+template <typename A>
+uint32_t
+sdsLen(Sds s)
+{
+    return A::template deref<SdsHeader>(static_cast<SdsHeader *>(s))->len;
+}
+
+/** Compare an sds with plain bytes. */
+template <typename A>
+bool
+sdsEquals(Sds s, std::string_view text)
+{
+    const auto *hdr =
+        A::template deref<SdsHeader>(static_cast<SdsHeader *>(s));
+    return hdr->len == text.size() &&
+           std::memcmp(hdr->data, text.data(), text.size()) == 0;
+}
+
+/** Copy out to a std::string (test/reply convenience). */
+template <typename A>
+std::string
+sdsToString(Sds s)
+{
+    const auto *hdr =
+        A::template deref<SdsHeader>(static_cast<SdsHeader *>(s));
+    return std::string(hdr->data, hdr->len);
+}
+
+/** FNV-1a over the sds bytes. */
+template <typename A>
+uint64_t
+sdsHash(Sds s)
+{
+    const auto *hdr =
+        A::template deref<SdsHeader>(static_cast<SdsHeader *>(s));
+    uint64_t h = 1469598103934665603ULL;
+    for (uint32_t i = 0; i < hdr->len; i++) {
+        h ^= static_cast<unsigned char>(hdr->data[i]);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** FNV-1a over plain bytes (must match sdsHash). */
+inline uint64_t
+bytesHash(std::string_view text)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace alaska::kv
+
+#endif // ALASKA_KV_SDS_H

@@ -1,0 +1,124 @@
+#include "services/concurrent_reloc.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+#include "core/handle.h"
+
+namespace alaska
+{
+
+namespace
+{
+
+constexpr uint64_t relocMark = 1;
+
+void *
+marked(void *ptr)
+{
+    return reinterpret_cast<void *>(reinterpret_cast<uint64_t>(ptr) |
+                                    relocMark);
+}
+
+void *
+unmarked(void *ptr)
+{
+    return reinterpret_cast<void *>(reinterpret_cast<uint64_t>(ptr) &
+                                    ~relocMark);
+}
+
+bool
+isMarked(const void *ptr)
+{
+    return reinterpret_cast<uint64_t>(ptr) & relocMark;
+}
+
+} // anonymous namespace
+
+bool
+tryRelocateConcurrent(Runtime &runtime, uint32_t id)
+{
+    auto &entry = runtime.table().entry(id);
+    ALASKA_ASSERT(entry.allocated(), "relocation of freed handle %u", id);
+    const size_t size = entry.size;
+
+    // Phase 1: mark. Fails if someone else is relocating this object.
+    void *old_ptr = entry.ptr.load(std::memory_order_acquire);
+    if (isMarked(old_ptr))
+        return false;
+    if (!entry.ptr.compare_exchange_strong(old_ptr, marked(old_ptr),
+                                           std::memory_order_seq_cst)) {
+        return false;
+    }
+
+    // Pinned objects cannot move: an accessor that pinned *before* our
+    // mark holds a raw pointer we must not invalidate. Accessors that
+    // pin *after* the mark will clear it and fail our commit CAS.
+    if (entry.state.load(std::memory_order_seq_cst) >>
+        HandleTableEntry::pinCountShift) {
+        void *expected = marked(old_ptr);
+        entry.ptr.compare_exchange_strong(expected, old_ptr,
+                                          std::memory_order_seq_cst);
+        return false;
+    }
+
+    // Phase 2: speculative copy while mutators may still read old_ptr.
+    void *new_ptr = runtime.service().alloc(id, size);
+    std::memcpy(new_ptr, old_ptr, size);
+
+    // Phase 3: commit. An accessor that faulted meanwhile has cleared
+    // the mark, and this CAS fails — the relocation is aborted.
+    void *expected = marked(old_ptr);
+    if (entry.ptr.compare_exchange_strong(expected, new_ptr,
+                                          std::memory_order_acq_rel)) {
+        runtime.service().free(id, old_ptr);
+        return true;
+    }
+    runtime.service().free(id, new_ptr);
+    return false;
+}
+
+void *
+translateConcurrent(const void *maybe_handle)
+{
+    const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
+    if (static_cast<int64_t>(v) >= 0)
+        return const_cast<void *>(maybe_handle);
+    HandleTableEntry &e =
+        Runtime::gTableBase[(v >> 32) & (maxHandleId - 1)];
+
+    void *ptr = e.ptr.load(std::memory_order_acquire);
+    while (isMarked(ptr)) {
+        // Abort the in-flight relocation: clear the mark. Whether our
+        // CAS or the mover's commit wins, the loop re-reads a stable
+        // pointer.
+        void *expected = ptr;
+        e.ptr.compare_exchange_strong(expected, unmarked(ptr),
+                                      std::memory_order_seq_cst);
+        ptr = e.ptr.load(std::memory_order_acquire);
+    }
+    return static_cast<char *>(ptr) + static_cast<uint32_t>(v);
+}
+
+ConcurrentPin::ConcurrentPin(const void *maybe_handle)
+{
+    const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
+    if (isHandle(v)) {
+        entry_ = &Runtime::gRuntime->table().entry(handleId(v));
+        // seq_cst: the increment must be globally ordered against the
+        // mover's mark/pin-check pair.
+        entry_->state.fetch_add(HandleTableEntry::pinCountOne,
+                                std::memory_order_seq_cst);
+    }
+    raw_ = translateConcurrent(maybe_handle);
+}
+
+ConcurrentPin::~ConcurrentPin()
+{
+    if (entry_) {
+        entry_->state.fetch_sub(HandleTableEntry::pinCountOne,
+                                std::memory_order_seq_cst);
+    }
+}
+
+} // namespace alaska

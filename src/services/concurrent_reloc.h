@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Speculative concurrent object relocation (paper §7).
+ *
+ * The paper sketches a way to move objects *without* stopping the
+ * world, resembling Shenandoah's concurrent compaction:
+ *
+ *   1. the mover marks the handle's entry (we set the low bit of the
+ *      backing pointer — objects are 16-byte aligned) and speculatively
+ *      copies the bytes to a new location;
+ *   2. an accessor that translates meanwhile detects the mark, and
+ *      atomically clears it — aborting the relocation — then proceeds
+ *      on the old memory;
+ *   3. the mover finally tries to CAS {marked old} -> {new}. Success
+ *      publishes the move and the old memory is freed; failure means
+ *      an accessor intervened, so the copy is discarded.
+ *
+ * Accessors must use translateConcurrent() while a relocator is active;
+ * writes through stale translations are excluded by the abort protocol,
+ * not by pausing threads.
+ */
+
+#ifndef ALASKA_SERVICES_CONCURRENT_RELOC_H
+#define ALASKA_SERVICES_CONCURRENT_RELOC_H
+
+#include <cstdint>
+
+#include "core/runtime.h"
+
+namespace alaska
+{
+
+/** Statistics for a relocation campaign. */
+struct RelocStats
+{
+    uint64_t attempts = 0;
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+};
+
+/**
+ * Try to relocate one object concurrently with running mutators.
+ * Backing memory is allocated/freed through the runtime's service.
+ *
+ * Aborts if the object is pinned (atomic pin count, see ConcurrentPin)
+ * — the paper: "the relocation is aborted ... as some other thread has
+ * pinned that handle while the copy was being made".
+ *
+ * @return true if the move committed, false if it was aborted.
+ */
+bool tryRelocateConcurrent(Runtime &runtime, uint32_t id);
+
+/**
+ * Translation that cooperates with concurrent relocation: if the entry
+ * is marked, the accessor aborts the in-flight move and wins.
+ */
+void *translateConcurrent(const void *maybe_handle);
+
+/**
+ * Pin guard for mutators racing with concurrent relocation. Orders an
+ * atomic pin-count increment before the translation so a mover always
+ * observes either the pin or the mark-clear.
+ */
+class ConcurrentPin
+{
+  public:
+    explicit ConcurrentPin(const void *maybe_handle);
+    ~ConcurrentPin();
+
+    ConcurrentPin(const ConcurrentPin &) = delete;
+    ConcurrentPin &operator=(const ConcurrentPin &) = delete;
+
+    void *get() const { return raw_; }
+
+  private:
+    HandleTableEntry *entry_ = nullptr;
+    void *raw_ = nullptr;
+};
+
+} // namespace alaska
+
+#endif // ALASKA_SERVICES_CONCURRENT_RELOC_H

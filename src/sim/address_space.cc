@@ -1,0 +1,98 @@
+#include "sim/address_space.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace alaska
+{
+
+uint64_t
+RealAddressSpace::map(size_t bytes)
+{
+    void *mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (mem == MAP_FAILED)
+        fatal("RealAddressSpace: cannot map %zu bytes", bytes);
+    return reinterpret_cast<uint64_t>(mem);
+}
+
+void
+RealAddressSpace::unmap(uint64_t base, size_t bytes)
+{
+    pages_.discard(base, bytes);
+    ::munmap(reinterpret_cast<void *>(base), bytes);
+}
+
+void
+RealAddressSpace::copy(uint64_t dst, uint64_t src, size_t len)
+{
+    std::memmove(reinterpret_cast<void *>(dst),
+                 reinterpret_cast<void *>(src), len);
+    pages_.touch(dst, len);
+}
+
+void
+RealAddressSpace::touch(uint64_t addr, size_t len)
+{
+    pages_.touch(addr, len);
+}
+
+void
+RealAddressSpace::discard(uint64_t addr, size_t len)
+{
+    pages_.discard(addr, len);
+    // Mirror the accounting with the real syscall on full pages.
+    const size_t page = pages_.pageSize();
+    const uint64_t first = (addr + page - 1) & ~(page - 1);
+    const uint64_t end = (addr + len) & ~(page - 1);
+    if (end > first) {
+        ::madvise(reinterpret_cast<void *>(first), end - first,
+                  MADV_DONTNEED);
+    }
+}
+
+void *
+RealAddressSpace::raw(uint64_t addr)
+{
+    return reinterpret_cast<void *>(addr);
+}
+
+uint64_t
+PhantomAddressSpace::map(size_t bytes)
+{
+    const uint64_t base = next_;
+    // Keep regions page-aligned and separated by a guard page.
+    const size_t page = pages_.pageSize();
+    next_ += (bytes + page - 1) / page * page + page;
+    return base;
+}
+
+void
+PhantomAddressSpace::unmap(uint64_t base, size_t bytes)
+{
+    pages_.discard(base, bytes);
+}
+
+void
+PhantomAddressSpace::copy(uint64_t dst, uint64_t src, size_t len)
+{
+    (void)src;
+    pages_.touch(dst, len);
+}
+
+void
+PhantomAddressSpace::touch(uint64_t addr, size_t len)
+{
+    pages_.touch(addr, len);
+}
+
+void
+PhantomAddressSpace::discard(uint64_t addr, size_t len)
+{
+    pages_.discard(addr, len);
+}
+
+} // namespace alaska

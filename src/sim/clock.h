@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Clock abstraction for the defragmentation control loop.
+ *
+ * The paper's controller sleeps and measures wall-clock time. For
+ * deterministic tests and for experiments whose interesting dynamics
+ * span minutes (Figure 11), we drive the controller from a virtual
+ * clock; the real-clock implementation behaves like the paper's.
+ */
+
+#ifndef ALASKA_SIM_CLOCK_H
+#define ALASKA_SIM_CLOCK_H
+
+#include <chrono>
+
+namespace alaska
+{
+
+/** A monotonically nondecreasing clock in seconds. */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+    /** Current time in seconds since an arbitrary epoch. */
+    virtual double now() const = 0;
+};
+
+/** Wall-clock implementation. */
+class RealClock : public Clock
+{
+  public:
+    RealClock() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    now() const override
+    {
+        const auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Manually advanced clock for deterministic experiments. */
+class VirtualClock : public Clock
+{
+  public:
+    double now() const override { return now_; }
+
+    /** Advance time by dt seconds. */
+    void advance(double dt) { now_ += dt; }
+
+    /** Jump to an absolute time (must not go backwards). */
+    void
+    set(double t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
+  private:
+    double now_ = 0.0;
+};
+
+} // namespace alaska
+
+#endif // ALASKA_SIM_CLOCK_H

@@ -1,0 +1,59 @@
+#include "sim/page_model.h"
+
+namespace alaska
+{
+
+uint64_t
+PageModel::frameOf(uint64_t vpage) const
+{
+    auto it = aliases_.find(vpage);
+    return it == aliases_.end() ? vpage : it->second;
+}
+
+void
+PageModel::touch(uint64_t addr, size_t len)
+{
+    if (len == 0)
+        return;
+    const uint64_t first = addr / pageSize_;
+    const uint64_t last = (addr + len - 1) / pageSize_;
+    for (uint64_t p = first; p <= last; p++)
+        resident_.insert(frameOf(p));
+}
+
+void
+PageModel::discard(uint64_t addr, size_t len)
+{
+    if (len < pageSize_)
+        return;
+    // Only pages fully inside the range are released.
+    const uint64_t first = (addr + pageSize_ - 1) / pageSize_;
+    const uint64_t end = (addr + len) / pageSize_;
+    for (uint64_t p = first; p < end; p++)
+        resident_.erase(frameOf(p));
+}
+
+void
+PageModel::alias(uint64_t vpage_addr, uint64_t target_page_addr)
+{
+    const uint64_t vpage = vpage_addr / pageSize_;
+    const uint64_t target = frameOf(target_page_addr / pageSize_);
+    // Release the frame previously backing vpage.
+    resident_.erase(frameOf(vpage));
+    aliases_[vpage] = target;
+}
+
+bool
+PageModel::isResident(uint64_t addr) const
+{
+    return resident_.count(frameOf(addr / pageSize_)) > 0;
+}
+
+void
+PageModel::clear()
+{
+    resident_.clear();
+    aliases_.clear();
+}
+
+} // namespace alaska

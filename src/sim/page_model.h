@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Page-granular residency accounting.
+ *
+ * The paper measures defragmentation success as the process's resident
+ * set size over time, sampled from the kernel. Sampling /proc from
+ * inside unit tests is noisy and machine-dependent, so every allocator
+ * in this repository routes its page-level effects (first touch,
+ * MADV_DONTNEED, and Mesh-style page aliasing) through this model, which
+ * produces exact, deterministic RSS numbers. Real-backed address spaces
+ * additionally perform the matching mmap/madvise calls so the behaviour
+ * stays honest.
+ */
+
+#ifndef ALASKA_SIM_PAGE_MODEL_H
+#define ALASKA_SIM_PAGE_MODEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace alaska
+{
+
+/** Deterministic model of kernel page residency for a process. */
+class PageModel
+{
+  public:
+    explicit PageModel(size_t page_size = 4096) : pageSize_(page_size) {}
+
+    /** Page size in bytes. */
+    size_t pageSize() const { return pageSize_; }
+
+    /** Mark every page overlapping [addr, addr+len) resident. */
+    void touch(uint64_t addr, size_t len);
+
+    /**
+     * MADV_DONTNEED on [addr, addr+len): pages *fully contained* in the
+     * range lose residency (partial edge pages stay, as in the kernel).
+     */
+    void discard(uint64_t addr, size_t len);
+
+    /**
+     * Mesh-style aliasing: virtual page vpage is remapped to the
+     * physical frame backing target. vpage's own frame (if any) is
+     * freed; future touches of either virtual page land on the shared
+     * frame.
+     */
+    void alias(uint64_t vpage_addr, uint64_t target_page_addr);
+
+    /** Resident bytes (distinct physical frames times page size). */
+    size_t rss() const { return resident_.size() * pageSize_; }
+
+    /** Number of distinct resident physical frames. */
+    size_t residentPages() const { return resident_.size(); }
+
+    /** True iff the page containing addr is resident. */
+    bool isResident(uint64_t addr) const;
+
+    /** Forget everything. */
+    void clear();
+
+  private:
+    /** Map a virtual page index to its physical frame index. */
+    uint64_t frameOf(uint64_t vpage) const;
+
+    size_t pageSize_;
+    /** Resident physical frames (canonical page indices). */
+    std::unordered_set<uint64_t> resident_;
+    /** Virtual page -> physical frame, for aliased pages only. */
+    std::unordered_map<uint64_t, uint64_t> aliases_;
+};
+
+} // namespace alaska
+
+#endif // ALASKA_SIM_PAGE_MODEL_H

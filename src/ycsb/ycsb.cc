@@ -1,0 +1,94 @@
+#include "ycsb/ycsb.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace alaska::ycsb
+{
+
+double
+ZipfianGenerator::zeta(uint64_t n, double theta)
+{
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta,
+                                   uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed)
+{
+    ALASKA_ASSERT(n > 0, "zipfian over an empty keyspace");
+    zetan_ = zeta(n, theta);
+    zeta2_ = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t
+ZipfianGenerator::next()
+{
+    const double u = rng_.real();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const double inner = eta_ * u - eta_ + 1.0;
+    const auto rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(inner, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+}
+
+Workload::Workload(WorkloadKind kind, uint64_t records, uint64_t seed,
+                   size_t value_size)
+    : kind_(kind), records_(records), valueSize_(value_size),
+      zipf_(records, 0.99, seed), rng_(seed * 31 + 7)
+{
+}
+
+std::string
+Workload::keyFor(uint64_t id)
+{
+    // YCSB hashes record ids so the popular keys are scattered.
+    uint64_t h = id;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    h = h ^ (h >> 31);
+    return "user" + std::to_string(h % 100000000000ULL);
+}
+
+std::string
+Workload::valueFor(uint64_t id) const
+{
+    std::string value(valueSize_, '\0');
+    Rng rng(id * 2654435761ULL + 1);
+    for (auto &c : value) {
+        c = static_cast<char>('a' + rng.below(26));
+    }
+    return value;
+}
+
+Request
+Workload::next()
+{
+    const uint64_t key = zipf_.next();
+    switch (kind_) {
+      case WorkloadKind::A:
+        return {rng_.chance(0.5) ? OpType::Read : OpType::Update, key};
+      case WorkloadKind::B:
+        return {rng_.chance(0.95) ? OpType::Read : OpType::Update, key};
+      case WorkloadKind::C:
+        return {OpType::Read, key};
+      case WorkloadKind::F:
+        return {rng_.chance(0.5) ? OpType::Read
+                                 : OpType::ReadModifyWrite,
+                key};
+    }
+    return {OpType::Read, key};
+}
+
+} // namespace alaska::ycsb

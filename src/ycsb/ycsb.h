@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A YCSB-style workload generator (Cooper et al., SoCC'10), used by the
+ * paper to drive Redis (workloads A and F, §5.5) and memcached
+ * (workload A, §5.6).
+ *
+ * Implements the standard request distributions (zipfian over the
+ * keyspace, uniform, latest) and the core workload mixes:
+ *   A: 50% read / 50% update        B: 95% read / 5% update
+ *   C: 100% read                    F: 50% read / 50% read-modify-write
+ */
+
+#ifndef ALASKA_YCSB_YCSB_H
+#define ALASKA_YCSB_YCSB_H
+
+#include <cstdint>
+#include <string>
+
+#include "base/rng.h"
+
+namespace alaska::ycsb
+{
+
+/**
+ * Zipfian generator over [0, n) with exponent theta, using the
+ * Gray et al. rejection-free method (the same algorithm as YCSB's
+ * ZipfianGenerator).
+ */
+class ZipfianGenerator
+{
+  public:
+    explicit ZipfianGenerator(uint64_t n, double theta = 0.99,
+                              uint64_t seed = 1);
+
+    /** Next sample in [0, n). Small values are the popular ones. */
+    uint64_t next();
+
+    uint64_t n() const { return n_; }
+
+  private:
+    static double zeta(uint64_t n, double theta);
+
+    uint64_t n_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+    double zeta2_;
+    Rng rng_;
+};
+
+/** Request kinds. */
+enum class OpType
+{
+    Read,
+    Update,
+    Insert,
+    ReadModifyWrite,
+};
+
+/** One generated request. */
+struct Request
+{
+    OpType op;
+    uint64_t key;
+};
+
+/** The standard workload mixes. */
+enum class WorkloadKind
+{
+    A, ///< 50% read, 50% update, zipfian
+    B, ///< 95% read, 5% update, zipfian
+    C, ///< 100% read, zipfian
+    F, ///< 50% read, 50% read-modify-write, zipfian
+};
+
+/** Workload = record count + mix + distribution. */
+class Workload
+{
+  public:
+    Workload(WorkloadKind kind, uint64_t records, uint64_t seed = 7,
+             size_t value_size = 500);
+
+    /** Key string for record id ("user<hash>"), as YCSB formats keys. */
+    static std::string keyFor(uint64_t id);
+
+    /** Deterministic value payload for a record. */
+    std::string valueFor(uint64_t id) const;
+
+    /** Next request. */
+    Request next();
+
+    uint64_t records() const { return records_; }
+    size_t valueSize() const { return valueSize_; }
+    WorkloadKind kind() const { return kind_; }
+
+  private:
+    WorkloadKind kind_;
+    uint64_t records_;
+    size_t valueSize_;
+    ZipfianGenerator zipf_;
+    Rng rng_;
+};
+
+} // namespace alaska::ycsb
+
+#endif // ALASKA_YCSB_YCSB_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the real and phantom address spaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/address_space.h"
+
+namespace
+{
+
+using namespace alaska;
+
+TEST(RealAddressSpace, CopyMovesRealBytes)
+{
+    RealAddressSpace space;
+    const uint64_t base = space.map(1 << 16);
+    char *p = static_cast<char *>(space.raw(base));
+    std::strcpy(p, "hello");
+    space.touch(base, 6);
+    space.copy(base + 4096, base, 6);
+    EXPECT_STREQ(static_cast<char *>(space.raw(base + 4096)), "hello");
+    EXPECT_EQ(space.rss(), 2 * 4096u);
+    space.unmap(base, 1 << 16);
+}
+
+TEST(RealAddressSpace, DiscardReducesAccountedRss)
+{
+    RealAddressSpace space;
+    const uint64_t base = space.map(1 << 16);
+    space.touch(base, 1 << 16);
+    EXPECT_EQ(space.rss(), static_cast<size_t>(1 << 16));
+    space.discard(base, 1 << 16);
+    EXPECT_EQ(space.rss(), 0u);
+    // And the memory is still mapped and zero after MADV_DONTNEED.
+    EXPECT_EQ(*static_cast<char *>(space.raw(base)), 0);
+    space.unmap(base, 1 << 16);
+}
+
+TEST(PhantomAddressSpace, RegionsDoNotOverlap)
+{
+    PhantomAddressSpace space;
+    const uint64_t a = space.map(1 << 20);
+    const uint64_t b = space.map(1 << 20);
+    EXPECT_GE(b, a + (1 << 20));
+    EXPECT_EQ(space.raw(a), nullptr);
+}
+
+TEST(PhantomAddressSpace, AccountingMatchesRealBehaviour)
+{
+    PhantomAddressSpace space;
+    const uint64_t base = space.map(1 << 20);
+    space.touch(base, 10000);
+    EXPECT_EQ(space.rss(), 3 * 4096u);
+    space.copy(base + (1 << 19), base, 10000);
+    EXPECT_EQ(space.rss(), 6 * 4096u);
+    // Discard the first half only; the copied pages must survive.
+    space.discard(base, 1 << 19);
+    EXPECT_EQ(space.rss(), 3 * 4096u);
+    space.unmap(base, 1 << 20);
+    EXPECT_EQ(space.rss(), 0u);
+}
+
+TEST(PhantomAddressSpace, CanModelHugeHeaps)
+{
+    // The whole point: a 64 GiB heap with no real memory behind it.
+    PhantomAddressSpace space;
+    const uint64_t base = space.map(64ull << 30);
+    space.touch(base, 1 << 20);
+    space.touch(base + (63ull << 30), 1 << 20);
+    EXPECT_EQ(space.rss(), 2 * (1u << 20));
+    space.unmap(base, 64ull << 30);
+}
+
+} // namespace

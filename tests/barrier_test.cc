@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Multithreaded tests for the stop-the-world barrier (§4.1.3): safepoint
+ * polling, external-code stragglers, and object movement under load.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/malloc_service.h"
+#include "core/pin.h"
+#include "core/runtime.h"
+#include "core/translate.h"
+
+namespace
+{
+
+using namespace alaska;
+
+class BarrierTest : public ::testing::Test
+{
+  protected:
+    BarrierTest() : runtime_(RuntimeConfig{.tableCapacity = 1u << 14})
+    {
+        runtime_.attachService(&service_);
+    }
+
+    // Declaration order matters: the service must outlive the runtime.
+    MallocService service_;
+    Runtime runtime_;
+};
+
+TEST_F(BarrierTest, BarrierWithNoThreadsRuns)
+{
+    bool ran = false;
+    runtime_.barrier([&](const PinnedSet &) { ran = true; });
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(runtime_.stats().barriers, 1u);
+}
+
+TEST_F(BarrierTest, MutatorsParkAtSafepoints)
+{
+    constexpr int n_threads = 4;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> iterations{0};
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (int t = 0; t < n_threads; t++) {
+        threads.emplace_back([&] {
+            ThreadRegistration reg(runtime_);
+            while (!stop.load(std::memory_order_relaxed)) {
+                iterations.fetch_add(1, std::memory_order_relaxed);
+                poll(); // compiler-inserted back-edge safepoint
+            }
+        });
+    }
+    // Wait for the mutators to spin up.
+    while (iterations.load() < 1000) {
+    }
+    for (int i = 0; i < 50; i++) {
+        bool ran = false;
+        runtime_.barrier([&](const PinnedSet &) { ran = true; });
+        EXPECT_TRUE(ran);
+    }
+    stop.store(true);
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(runtime_.stats().barriers, 50u);
+}
+
+TEST_F(BarrierTest, ExternalThreadsDoNotBlockBarriers)
+{
+    std::atomic<bool> in_external{false};
+    std::atomic<bool> release_external{false};
+    std::thread external_thread([&] {
+        ThreadRegistration reg(runtime_);
+        runtime_.enterExternal();
+        in_external.store(true);
+        // Simulate blocking in the kernel for an arbitrary time.
+        while (!release_external.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        runtime_.leaveExternal();
+    });
+    while (!in_external.load()) {
+    }
+    // The barrier must complete while that thread is "blocked in a
+    // syscall" — the paper's straggler rule.
+    bool ran = false;
+    runtime_.barrier([&](const PinnedSet &) { ran = true; });
+    EXPECT_TRUE(ran);
+    release_external.store(true);
+    external_thread.join();
+}
+
+TEST_F(BarrierTest, PinsOfExternalThreadsAreStillHonored)
+{
+    void *h = runtime_.halloc(32);
+    const uint32_t id = handleId(reinterpret_cast<uint64_t>(h));
+    std::atomic<bool> ready{false};
+    std::atomic<bool> release{false};
+    std::thread external_thread([&] {
+        ThreadRegistration reg(runtime_);
+        ALASKA_PIN_FRAME(frame, 1);
+        // Pin, then escape into external code (e.g. write(2) on the
+        // pinned buffer). The pin must be visible to barriers.
+        frame.pin(0, h);
+        runtime_.enterExternal();
+        ready.store(true);
+        while (!release.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        runtime_.leaveExternal();
+    });
+    while (!ready.load()) {
+    }
+    runtime_.barrier([&](const PinnedSet &pinned) {
+        EXPECT_TRUE(pinned.contains(id));
+    });
+    release.store(true);
+    external_thread.join();
+    runtime_.hfree(h);
+}
+
+TEST_F(BarrierTest, ObjectsMoveUnderConcurrentMutation)
+{
+    // Mutators hammer objects between safepoints while the coordinator
+    // relocates every unpinned object each barrier. Data must survive.
+    constexpr int n_threads = 4;
+    constexpr int n_objects = 64;
+    constexpr size_t obj_size = 128;
+
+    std::vector<void *> handles(n_objects);
+    for (auto &h : handles) {
+        h = runtime_.halloc(obj_size);
+        std::memset(translate(h), 0, obj_size);
+    }
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (int t = 0; t < n_threads; t++) {
+        threads.emplace_back([&, t] {
+            ThreadRegistration reg(runtime_);
+            uint64_t i = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                void *h = handles[(t * 17 + i) % n_objects];
+                {
+                    ALASKA_PIN_FRAME(frame, 1);
+                    auto *p = static_cast<uint64_t *>(frame.pin(0, h));
+                    p[t] += 1; // each thread owns one word per object
+                }
+                poll();
+                i++;
+            }
+        });
+    }
+
+    // Coordinator: relocate unpinned objects repeatedly.
+    for (int round = 0; round < 200; round++) {
+        runtime_.barrier([&](const PinnedSet &pinned) {
+            for (void *h : handles) {
+                const uint32_t id =
+                    handleId(reinterpret_cast<uint64_t>(h));
+                if (pinned.contains(id))
+                    continue;
+                auto &e = runtime_.table().entry(id);
+                void *old_ptr = e.ptr.load(std::memory_order_relaxed);
+                void *new_ptr = std::malloc(obj_size);
+                std::memcpy(new_ptr, old_ptr, obj_size);
+                e.ptr.store(new_ptr, std::memory_order_release);
+                std::free(old_ptr);
+            }
+        });
+    }
+    stop.store(true);
+    for (auto &th : threads)
+        th.join();
+
+    // All counters must be coherent (no lost or torn updates).
+    uint64_t total = 0;
+    for (void *h : handles) {
+        auto *p = static_cast<uint64_t *>(translate(h));
+        for (int t = 0; t < n_threads; t++)
+            total += p[t];
+        runtime_.hfree(h);
+    }
+    EXPECT_GT(total, 0u);
+}
+
+TEST_F(BarrierTest, LateRegisteringThreadJoinsTheBarrier)
+{
+    std::atomic<bool> stop{false};
+    std::atomic<int> started{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; t++) {
+        threads.emplace_back([&] {
+            ThreadRegistration reg(runtime_);
+            started.fetch_add(1);
+            while (!stop.load(std::memory_order_relaxed))
+                poll();
+        });
+        // Interleave registrations with barriers.
+        runtime_.barrier([](const PinnedSet &) {});
+    }
+    while (started.load() < 8) {
+    }
+    runtime_.barrier([](const PinnedSet &) {});
+    stop.store(true);
+    for (auto &th : threads)
+        th.join();
+}
+
+TEST_F(BarrierTest, ParkCountsAreRecorded)
+{
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> polls{0};
+    std::thread mutator([&] {
+        ThreadRegistration reg(runtime_);
+        while (!stop.load(std::memory_order_relaxed)) {
+            polls.fetch_add(1, std::memory_order_relaxed);
+            poll();
+        }
+    });
+    while (polls.load() < 100) {
+    }
+    runtime_.barrier([](const PinnedSet &) {});
+    stop.store(true);
+    mutator.join();
+    // At least one park must have happened for the barrier to complete.
+    EXPECT_GE(runtime_.stats().barriers, 1u);
+}
+
+} // namespace

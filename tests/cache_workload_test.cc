@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the Figure-9 cache workload driver and its interaction
+ * with every memory manager, including the headline RSS shapes: the
+ * baseline never recovers, activedefrag and Anchorage do.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc_sim/glibc_model.h"
+#include "alloc_sim/jemalloc_model.h"
+#include "anchorage/alloc_model_adapter.h"
+#include "kv/cache_workload.h"
+#include "mesh/mesh_model.h"
+#include "sim/clock.h"
+
+namespace
+{
+
+using namespace alaska;
+using namespace alaska::kv;
+
+CacheWorkloadConfig
+smallConfig()
+{
+    CacheWorkloadConfig config;
+    config.maxMemory = 4 << 20; // 4 MiB keeps tests quick
+    config.valueSize = 500;
+    // Scaled with the small heap: the live set (~7.5k records)
+    // spans phases, and enough phases pass to reach steady state.
+    config.driftPeriod = 5000;
+    return config;
+}
+
+TEST(CacheWorkload, RespectsMaxmemory)
+{
+    JemallocModel model;
+    CacheWorkload workload(model, smallConfig());
+    workload.insert(30000);
+    EXPECT_LE(workload.usedMemory(), 4u << 20);
+    EXPECT_GT(workload.evictions(), 0u);
+    EXPECT_GT(workload.liveRecords(), 1000u);
+    workload.drain();
+    EXPECT_EQ(model.activeBytes(), 0u);
+}
+
+TEST(CacheWorkload, AccountingBalancesOnDrain)
+{
+    GlibcModel model;
+    CacheWorkload workload(model, smallConfig());
+    workload.insert(20000);
+    workload.drain();
+    EXPECT_EQ(workload.usedMemory(), 0u);
+    EXPECT_EQ(model.activeBytes(), 0u);
+}
+
+TEST(CacheWorkload, ChurnFragmentsTheJemallocBaseline)
+{
+    // Insert well past maxmemory: scattered sampled-LRU evictions
+    // strand slabs, so RSS grows far beyond used memory and stays.
+    JemallocModel model;
+    CacheWorkload workload(model, smallConfig());
+    workload.insert(150000);
+    const double frag = static_cast<double>(model.rss()) /
+                        static_cast<double>(workload.usedMemory());
+    EXPECT_GT(frag, 1.5) << "baseline should fragment under churn";
+}
+
+TEST(CacheWorkload, ActivedefragRecoversJemallocRss)
+{
+    JemallocModel model;
+    CacheWorkload workload(model, smallConfig());
+    workload.insert(150000);
+    const size_t rss_before = model.rss();
+    size_t moves = 0;
+    for (int cycle = 0; cycle < 200; cycle++)
+        moves += workload.defragCycle(workload.liveRecords());
+    EXPECT_GT(moves, 0u);
+    EXPECT_LT(model.rss(), rss_before);
+    const double frag = static_cast<double>(model.rss()) /
+                        static_cast<double>(workload.usedMemory());
+    EXPECT_LT(frag, 1.4) << "activedefrag should approach density";
+    workload.drain();
+}
+
+TEST(CacheWorkload, MeshRecoversSomeRss)
+{
+    MeshModel model(99);
+    CacheWorkload workload(model, smallConfig());
+    workload.insert(150000);
+    const size_t rss_before = model.rss();
+    for (int pass = 0; pass < 100; pass++)
+        model.maintain();
+    EXPECT_GT(model.meshCount(), 0u);
+    EXPECT_LT(model.rss(), rss_before);
+    workload.drain();
+}
+
+TEST(CacheWorkload, AnchorageRecoversRssWithoutHints)
+{
+    // The same trace through real handles; the controller defragments
+    // with zero workload cooperation (shouldMove is never true).
+    PhantomAddressSpace space;
+    VirtualClock clock;
+    anchorage::ControlParams control;
+    control.useModeledTime = true;
+    control.alpha = 1.0;
+    anchorage::AnchorageAllocModel model(space, clock, control);
+    CacheWorkload workload(model, smallConfig());
+    workload.insert(150000);
+    const size_t rss_churned = model.rss();
+    const double frag_before =
+        static_cast<double>(rss_churned) /
+        static_cast<double>(workload.usedMemory());
+    EXPECT_GT(frag_before, 1.2);
+
+    // Let the controller run for a while of virtual time.
+    for (int tick = 0; tick < 600; tick++) {
+        model.maintain();
+        clock.advance(0.1);
+    }
+    const double frag_after =
+        static_cast<double>(model.rss()) /
+        static_cast<double>(workload.usedMemory());
+    EXPECT_LT(frag_after, frag_before * 0.7);
+    EXPECT_GT(model.controller().passes(), 0u);
+    workload.drain();
+}
+
+TEST(CacheWorkload, PhantomScalesToMultiGigabyteHeaps)
+{
+    // The Figure 11 mechanism: a multi-GiB policy entirely in phantom
+    // space. (Scaled down here to keep the test fast.)
+    JemallocModel model;
+    CacheWorkloadConfig config;
+    config.maxMemory = 256 << 20;
+    config.valueSize = 500;
+    CacheWorkload workload(model, config);
+    workload.insert(600000);
+    EXPECT_GT(workload.usedMemory(), 200u << 20);
+    EXPECT_GT(model.rss(), workload.usedMemory() / 2);
+    workload.drain();
+}
+
+} // namespace

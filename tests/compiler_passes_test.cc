@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests for the Alaska compiler passes: malloc replacement, Algorithm 1
+ * translation insertion and hoisting, release placement, pin-slot
+ * coloring, safepoints, and escape handling (§4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/passes.h"
+#include "ir/analysis.h"
+#include "ir/builder.h"
+#include "ir/interpreter.h"
+#include "ir/ir.h"
+#include "ir/verifier.h"
+
+namespace
+{
+
+using namespace alaska::ir;
+using namespace alaska::compiler;
+
+size_t
+countOps(Function &fn, Op op)
+{
+    size_t n = 0;
+    for (auto &block : fn.blocks) {
+        for (auto &inst : block->insts)
+            n += (inst->op == op);
+    }
+    return n;
+}
+
+Instruction *
+firstOp(Function &fn, Op op)
+{
+    for (auto &block : fn.blocks) {
+        for (auto &inst : block->insts) {
+            if (inst->op == op)
+                return inst.get();
+        }
+    }
+    return nullptr;
+}
+
+/** p = malloc(64); loop { store p[i]; }; ret p[0] — the hoistable case. */
+struct LoopOverArray
+{
+    Module module;
+    Function *fn;
+    BasicBlock *entry, *header, *body, *exit;
+    Instruction *array;
+
+    LoopOverArray()
+    {
+        fn = module.addFunction("loop_array", 0);
+        Builder b(*fn);
+        entry = b.block();
+        header = b.newBlock("header");
+        body = b.newBlock("body");
+        exit = b.newBlock("exit");
+        array = b.mallocBytes(b.constant(64));
+        Instruction *zero = b.constant(0);
+        b.br(header);
+        b.setBlock(header);
+        Instruction *i = b.phi();
+        Builder::addIncoming(i, zero, entry);
+        b.condBr(b.cmpLt(i, b.constant(8)), body, exit);
+        b.setBlock(body);
+        b.store(b.gep(array, i), i);
+        Instruction *next = b.add(i, b.constant(1));
+        Builder::addIncoming(i, next, body);
+        b.br(header);
+        b.setBlock(exit);
+        b.ret(b.load(b.gep(array, b.constant(0))));
+        fn->computeCfg();
+        fn->renumber();
+    }
+};
+
+TEST(ReplaceAllocations, MallocBecomesHalloc)
+{
+    LoopOverArray p;
+    EXPECT_EQ(replaceAllocations(*p.fn), 1u);
+    EXPECT_EQ(countOps(*p.fn, Op::Malloc), 0u);
+    EXPECT_EQ(countOps(*p.fn, Op::Halloc), 1u);
+}
+
+TEST(TranslationInsertion, HoistsOutOfTheLoop)
+{
+    LoopOverArray p;
+    replaceAllocations(*p.fn);
+    size_t hoisted = 0;
+    const size_t inserted = insertTranslations(*p.fn, true, &hoisted);
+    // One root (the array), accesses in body and exit: one translation
+    // at their common dominator, outside the loop.
+    EXPECT_EQ(inserted, 1u);
+    Instruction *t = firstOp(*p.fn, Op::Translate);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->parent, p.entry);
+    EXPECT_TRUE(verify(*p.fn).ok()) << verify(*p.fn).joined();
+}
+
+TEST(TranslationInsertion, NoHoistingTranslatesPerAccess)
+{
+    LoopOverArray p;
+    replaceAllocations(*p.fn);
+    const size_t inserted = insertTranslations(*p.fn, false);
+    // One per access: the store in the loop and the load at exit.
+    EXPECT_EQ(inserted, 2u);
+    // The in-loop translation stays in the loop body.
+    bool in_body = false;
+    for (auto &inst : p.body->insts)
+        in_body |= (inst->op == Op::Translate);
+    EXPECT_TRUE(in_body);
+    EXPECT_TRUE(verify(*p.fn).ok()) << verify(*p.fn).joined();
+}
+
+TEST(TranslationInsertion, PointerChasingTranslatesInLoop)
+{
+    // node = load(node.next) — the root is produced inside the loop,
+    // so hoisting is impossible (the paper's mcf/xalancbmk case).
+    Module module;
+    Function *fn = module.addFunction("chase", 1);
+    Builder b(*fn);
+    b.declarePointerArg(0);
+    BasicBlock *entry = b.block();
+    BasicBlock *header = b.newBlock("header");
+    BasicBlock *body = b.newBlock("body");
+    BasicBlock *exit = b.newBlock("exit");
+    Instruction *zero = b.constant(0);
+    b.br(header);
+    b.setBlock(header);
+    Instruction *node = b.phi();
+    Builder::addIncoming(node, b.arg(0), entry);
+    b.condBr(b.cmpEq(node, zero), exit, body);
+    b.setBlock(body);
+    Instruction *next = b.load(b.gep(node, zero), true);
+    Builder::addIncoming(node, next, body);
+    b.br(header);
+    b.setBlock(exit);
+    b.ret(zero);
+    fn->computeCfg();
+
+    size_t hoisted = 0;
+    const size_t inserted = insertTranslations(*fn, true, &hoisted);
+    EXPECT_EQ(inserted, 1u);
+    EXPECT_EQ(hoisted, 0u);
+    Instruction *t = firstOp(*fn, Op::Translate);
+    EXPECT_EQ(t->parent, body);
+}
+
+TEST(TranslationInsertion, RawPointersAreLeftAlone)
+{
+    // An access rooted at a non-pointer value must not be translated.
+    Module module;
+    Function *fn = module.addFunction("raw", 1);
+    Builder b(*fn);
+    // arg0 is NOT declared a pointer: the compiler treats it as data.
+    b.ret(b.add(b.arg(0), b.constant(1)));
+    EXPECT_EQ(insertTranslations(*fn, true), 0u);
+}
+
+TEST(Releases, InsertedAtEndOfLifetime)
+{
+    LoopOverArray p;
+    replaceAllocations(*p.fn);
+    insertTranslations(*p.fn, true);
+    const size_t releases = insertReleases(*p.fn);
+    EXPECT_GE(releases, 1u);
+    // The release must come after the last use (the exit-block load).
+    Instruction *release = firstOp(*p.fn, Op::Release);
+    ASSERT_NE(release, nullptr);
+    EXPECT_EQ(release->parent, p.exit);
+}
+
+TEST(PinTracking, EmitsPinSetAndStores)
+{
+    LoopOverArray p;
+    replaceAllocations(*p.fn);
+    insertTranslations(*p.fn, true);
+    insertReleases(*p.fn);
+    const size_t slots = insertPinTracking(*p.fn);
+    EXPECT_EQ(slots, 1u);
+    EXPECT_EQ(countOps(*p.fn, Op::PinSetAlloc), 1u);
+    EXPECT_EQ(countOps(*p.fn, Op::PinStore), 1u);
+    EXPECT_EQ(countOps(*p.fn, Op::Release), 0u);
+    EXPECT_TRUE(verifyTransformed(*p.fn).ok())
+        << verifyTransformed(*p.fn).joined();
+}
+
+TEST(PinTracking, OverlappingRangesGetDistinctSlots)
+{
+    // Two arrays accessed in an interleaved way: both translations are
+    // live at once and must not share a slot.
+    Module module;
+    Function *fn = module.addFunction("overlap", 0);
+    Builder b(*fn);
+    Instruction *a = b.mallocBytes(b.constant(32));
+    Instruction *c = b.mallocBytes(b.constant(32));
+    Instruction *zero = b.constant(0);
+    b.store(b.gep(a, zero), b.constant(1));
+    b.store(b.gep(c, zero), b.constant(2));
+    b.store(b.gep(a, b.constant(1)), b.load(b.gep(c, zero)));
+    b.ret(b.load(b.gep(a, zero)));
+    fn->computeCfg();
+
+    replaceAllocations(*fn);
+    insertTranslations(*fn, true);
+    insertReleases(*fn);
+    const size_t slots = insertPinTracking(*fn);
+    EXPECT_EQ(slots, 2u);
+}
+
+TEST(PinTracking, DisjointRangesShareASlot)
+{
+    // a used fully before c: one slot suffices (the interference
+    // coloring reuses it, like a register allocator).
+    Module module;
+    Function *fn = module.addFunction("disjoint", 0);
+    Builder b(*fn);
+    Instruction *a = b.mallocBytes(b.constant(32));
+    Instruction *c = b.mallocBytes(b.constant(32));
+    Instruction *zero = b.constant(0);
+    b.store(b.gep(a, zero), b.constant(1));
+    b.store(b.gep(c, zero), b.constant(2));
+    b.ret(zero);
+    fn->computeCfg();
+
+    replaceAllocations(*fn);
+    insertTranslations(*fn, false); // per-access: tight ranges
+    insertReleases(*fn);
+    const size_t slots = insertPinTracking(*fn);
+    EXPECT_EQ(slots, 1u);
+}
+
+TEST(Safepoints, PlacedOnBackEdgesEntryAndExternalCalls)
+{
+    LoopOverArray p;
+    Builder b(*p.fn);
+    // Add an external call in the exit block.
+    b.setBlock(p.exit);
+    auto *term = p.exit->terminator();
+    auto call = std::make_unique<Instruction>(
+        Op::CallExternal, std::vector<Instruction *>{},
+        p.module.externalIndex("ext_noop"));
+    p.exit->insertBefore(term, std::move(call));
+
+    const size_t inserted = insertSafepoints(*p.fn);
+    // entry + 1 back edge + 1 external call.
+    EXPECT_EQ(inserted, 3u);
+    bool latch_poll = false;
+    for (auto &inst : p.body->insts)
+        latch_poll |= (inst->op == Op::Safepoint);
+    EXPECT_TRUE(latch_poll);
+}
+
+TEST(Escapes, ExternalArgumentsArePinnedAndTranslated)
+{
+    Module module;
+    Function *fn = module.addFunction("escape", 0);
+    Builder b(*fn);
+    Instruction *buf = b.mallocBytes(b.constant(64));
+    b.callExternal("ext_use", {buf, b.constant(64)});
+    b.ret(b.constant(0));
+    fn->computeCfg();
+
+    replaceAllocations(*fn);
+    EXPECT_EQ(handleEscapes(*fn), 1u);
+    Instruction *call = firstOp(*fn, Op::CallExternal);
+    ASSERT_NE(call, nullptr);
+    EXPECT_EQ(call->operands[0]->op, Op::Translate);
+    // The length argument is not pointer-like: left alone.
+    EXPECT_EQ(call->operands[1]->op, Op::Const);
+}
+
+TEST(Pipeline, FullRunProducesVerifiableCode)
+{
+    LoopOverArray p;
+    const PassMetrics metrics = runPipeline(p.module);
+    EXPECT_EQ(metrics.allocationsReplaced, 1u);
+    EXPECT_EQ(metrics.translationsInserted, 1u);
+    EXPECT_EQ(metrics.translationsHoisted, 1u);
+    EXPECT_EQ(metrics.pinSlots, 1u);
+    EXPECT_GE(metrics.safepointsInserted, 2u);
+    EXPECT_GT(metrics.codeGrowth(), 1.0);
+    EXPECT_TRUE(verifyTransformed(*p.fn).ok())
+        << verifyTransformed(*p.fn).joined();
+}
+
+TEST(Pipeline, NoTrackingSkipsPinsButStripsReleases)
+{
+    LoopOverArray p;
+    PassOptions options;
+    options.tracking = false;
+    runPipeline(p.module, options);
+    EXPECT_EQ(countOps(*p.fn, Op::PinSetAlloc), 0u);
+    EXPECT_EQ(countOps(*p.fn, Op::PinStore), 0u);
+    EXPECT_EQ(countOps(*p.fn, Op::Release), 0u);
+}
+
+TEST(Pipeline, CodeGrowthIsWorseWithoutHoisting)
+{
+    LoopOverArray p1, p2;
+    PassOptions hoist_on, hoist_off;
+    hoist_off.hoisting = false;
+    const PassMetrics with = runPipeline(p1.module, hoist_on);
+    const PassMetrics without = runPipeline(p2.module, hoist_off);
+    // The paper: xalancbmk doubles in size when hoisting cannot apply.
+    EXPECT_GT(without.instructionsAfter, with.instructionsAfter);
+}
+
+} // namespace

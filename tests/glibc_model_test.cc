@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the glibc-like baseline allocator model — the "RSS never
+ * comes back" behaviour underlying the paper's Figure 9 baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alloc_sim/glibc_model.h"
+#include "base/rng.h"
+
+namespace
+{
+
+using namespace alaska;
+
+TEST(GlibcModel, AllocTouchesPages)
+{
+    GlibcModel model;
+    model.alloc(10000);
+    EXPECT_EQ(model.rss(), 3 * 4096u);
+    EXPECT_EQ(model.activeBytes(), 10000u); // already 16-aligned
+    model.alloc(1);
+    EXPECT_EQ(model.activeBytes(), 10016u); // rounded up to 16
+}
+
+TEST(GlibcModel, FirstFitReusesLowestHole)
+{
+    GlibcModel model;
+    const uint64_t a = model.alloc(100);
+    model.alloc(100);
+    const uint64_t c = model.alloc(100);
+    model.alloc(100);
+    model.free(a);
+    model.free(c);
+    // First fit by address: the lowest hole (a) is reused first.
+    EXPECT_EQ(model.alloc(100), a);
+    EXPECT_EQ(model.alloc(100), c);
+}
+
+TEST(GlibcModel, FreeCoalescesNeighbours)
+{
+    GlibcModel model;
+    const uint64_t a = model.alloc(64);
+    const uint64_t b = model.alloc(64);
+    const uint64_t c = model.alloc(64);
+    model.alloc(64); // keep the top busy
+    model.free(a);
+    model.free(c);
+    model.free(b); // bridges a and c into one range
+    // A single request the size of all three fits in the coalesced hole.
+    EXPECT_EQ(model.alloc(192), a);
+}
+
+TEST(GlibcModel, OnlyTopTrimReturnsMemory)
+{
+    GlibcModel model;
+    std::vector<uint64_t> tokens;
+    for (int i = 0; i < 1024; i++)
+        tokens.push_back(model.alloc(4096));
+    const size_t rss_full = model.rss();
+    // Free every other object: interior holes, no RSS change.
+    for (size_t i = 0; i + 2 < tokens.size(); i += 2)
+        model.free(tokens[i]);
+    EXPECT_EQ(model.rss(), rss_full);
+    // Free the top object: the trailing free run is trimmed.
+    model.free(tokens.back());
+    EXPECT_LT(model.rss(), rss_full);
+}
+
+TEST(GlibcModel, RobsonPhasesDefeatNonMovingAllocation)
+{
+    // Robson's bound, cited by the paper as the reason defragmentation
+    // is unavoidable: "any allocation strategy that is not free to
+    // relocate objects will suffer from fragmentation". Phase k fills
+    // the heap with size-s_k objects and keeps one in eight alive; the
+    // surviving pins make every hole (7*s_k) too small for phase k+1's
+    // requests (8*s_k), so each phase extends the heap even though the
+    // live set stays small.
+    GlibcModel model;
+    std::vector<uint64_t> survivors;
+    size_t size = 16;
+    constexpr size_t phase_bytes = 1 << 20;
+    for (int phase = 0; phase < 4; phase++) {
+        std::vector<uint64_t> batch;
+        for (size_t i = 0; i < phase_bytes / size; i++)
+            batch.push_back(model.alloc(size));
+        for (size_t i = 0; i < batch.size(); i++) {
+            if (i % 8 == 7) {
+                survivors.push_back(batch[i]);
+            } else {
+                model.free(batch[i]);
+            }
+        }
+        size *= 8;
+    }
+    // Extent grew by ~1 MiB per phase while only 1/8 stayed live.
+    EXPECT_GT(model.extent(), 3 * phase_bytes);
+    EXPECT_GT(static_cast<double>(model.rss()) /
+                  static_cast<double>(model.activeBytes()),
+              3.0);
+    for (uint64_t t : survivors)
+        model.free(t);
+}
+
+} // namespace

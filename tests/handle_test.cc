@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit and property tests for the handle bit representation (§3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/handle.h"
+
+namespace
+{
+
+using namespace alaska;
+
+TEST(Handle, RawPointersAreNotHandles)
+{
+    int on_stack = 0;
+    EXPECT_FALSE(isHandle(&on_stack));
+    EXPECT_FALSE(isHandle(static_cast<uint64_t>(0)));
+    EXPECT_FALSE(isHandle(UINT64_C(0x00007fffffffffff)));
+}
+
+TEST(Handle, TopBitMakesAHandle)
+{
+    EXPECT_TRUE(isHandle(makeHandle(0, 0)));
+    EXPECT_TRUE(isHandle(makeHandle(maxHandleId - 1, 0xffffffffu)));
+}
+
+TEST(Handle, FieldRoundTrip)
+{
+    const uint64_t h = makeHandle(42, 1000);
+    EXPECT_EQ(handleId(h), 42u);
+    EXPECT_EQ(handleOffset(h), 1000u);
+}
+
+TEST(Handle, OffsetArithmeticIsPlainIntegerArithmetic)
+{
+    // The compiler transforms pointer arithmetic on handles into plain
+    // adds; the offset field must absorb them without touching the ID.
+    const uint64_t h = makeHandle(7, 0);
+    const uint64_t moved = h + 4096;
+    EXPECT_TRUE(isHandle(moved));
+    EXPECT_EQ(handleId(moved), 7u);
+    EXPECT_EQ(handleOffset(moved), 4096u);
+}
+
+TEST(Handle, LimitsMatchThePaper)
+{
+    EXPECT_EQ(maxHandleId, 1u << 31);
+    EXPECT_EQ(maxObjectSize, 1ull << 32);
+}
+
+/** Property sweep: encode/decode round-trips over random IDs/offsets. */
+class HandleRoundTrip : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(HandleRoundTrip, RandomRoundTrips)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 10000; i++) {
+        const auto id = static_cast<uint32_t>(rng.below(maxHandleId));
+        const auto off =
+            static_cast<uint32_t>(rng.below(UINT64_C(1) << 32));
+        const uint64_t h = makeHandle(id, off);
+        EXPECT_TRUE(isHandle(h));
+        EXPECT_EQ(handleId(h), id);
+        EXPECT_EQ(handleOffset(h), off);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HandleRoundTrip,
+                         ::testing::Values(1, 2, 3, 1337));
+
+} // namespace

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Interpreter tests, the baseline-vs-transformed equivalence property,
+ * and the end-to-end "defragmentation races a running program" test —
+ * the strongest correctness statement this repository makes about the
+ * compiler/runtime co-design.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "anchorage/anchorage_service.h"
+#include "compiler/passes.h"
+#include "core/malloc_service.h"
+#include "core/runtime.h"
+#include "ir/builder.h"
+#include "ir/interpreter.h"
+#include "ir/verifier.h"
+#include "ir_program_gen.h"
+#include "sim/address_space.h"
+
+namespace
+{
+
+using namespace alaska;
+using namespace alaska::ir;
+using namespace alaska::compiler;
+
+TEST(Interpreter, ArithmeticAndControlFlow)
+{
+    Module module;
+    Function *fn = module.addFunction("fib", 1);
+    Builder b(*fn);
+    BasicBlock *entry = b.block();
+    BasicBlock *header = b.newBlock("header");
+    BasicBlock *body = b.newBlock("body");
+    BasicBlock *exit = b.newBlock("exit");
+    Instruction *zero = b.constant(0);
+    Instruction *one = b.constant(1);
+    b.br(header);
+    b.setBlock(header);
+    Instruction *i = b.phi();
+    Instruction *a = b.phi();
+    Instruction *c = b.phi();
+    Builder::addIncoming(i, zero, entry);
+    Builder::addIncoming(a, zero, entry);
+    Builder::addIncoming(c, one, entry);
+    b.condBr(b.cmpLt(i, b.arg(0)), body, exit);
+    b.setBlock(body);
+    Instruction *next = b.add(a, c);
+    Builder::addIncoming(i, b.add(i, one), body);
+    Builder::addIncoming(a, c, body);
+    Builder::addIncoming(c, next, body);
+    b.br(header);
+    b.setBlock(exit);
+    b.ret(a);
+    fn->computeCfg();
+
+    Interpreter interp(module);
+    EXPECT_EQ(interp.run(*fn, {0}), 0);
+    EXPECT_EQ(interp.run(*fn, {1}), 1);
+    EXPECT_EQ(interp.run(*fn, {10}), 55);
+    EXPECT_EQ(interp.run(*fn, {20}), 6765);
+}
+
+TEST(Interpreter, MemoryAndCalls)
+{
+    Module module;
+    Function *helper = module.addFunction("store42", 1);
+    {
+        Builder b(*helper);
+        b.declarePointerArg(0);
+        b.store(b.gep(b.arg(0), b.constant(0)), b.constant(42));
+        b.ret();
+    }
+    Function *fn = module.addFunction("main", 0);
+    {
+        Builder b(*fn);
+        Instruction *buf = b.mallocBytes(b.constant(8));
+        b.call(helper, {buf});
+        Instruction *result = b.load(b.gep(buf, b.constant(0)));
+        b.freePtr(buf);
+        b.ret(result);
+    }
+    Interpreter interp(module);
+    EXPECT_EQ(interp.run(*fn), 42);
+}
+
+TEST(Interpreter, ExternalFunctions)
+{
+    Module module;
+    Function *fn = module.addFunction("main", 2);
+    Builder b(*fn);
+    b.ret(b.callExternal("ext_mul", {b.arg(0), b.arg(1)}));
+    Interpreter interp(module);
+    interp.registerExternal("ext_mul",
+                            [](const std::vector<int64_t> &args) {
+                                return args[0] * args[1];
+                            });
+    EXPECT_EQ(interp.run(*fn, {6, 7}), 42);
+    EXPECT_EQ(interp.stats().externalCalls, 1u);
+}
+
+TEST(Interpreter, TransformedProgramRunsOnTheRealRuntime)
+{
+    MallocService service;
+    Runtime runtime(RuntimeConfig{.tableCapacity = 1u << 12});
+    runtime.attachService(&service);
+    ThreadRegistration reg(runtime);
+
+    Module module;
+    Function *fn = module.addFunction("main", 1);
+    Builder b(*fn);
+    Instruction *buf = b.mallocBytes(b.constant(64));
+    b.store(b.gep(buf, b.constant(3)), b.arg(0));
+    Instruction *out = b.load(b.gep(buf, b.constant(3)));
+    b.freePtr(buf);
+    b.ret(out);
+    fn->computeCfg();
+
+    runPipeline(module);
+    ASSERT_TRUE(verifyTransformed(*fn).ok())
+        << verifyTransformed(*fn).joined();
+
+    Interpreter interp(module, &runtime);
+    EXPECT_EQ(interp.run(*fn, {1234}), 1234);
+    EXPECT_GE(interp.stats().translations, 1u);
+    EXPECT_GE(runtime.stats().hallocs, 1u);
+    EXPECT_EQ(runtime.table().liveCount(), 0u);
+}
+
+/**
+ * The central equivalence property: for random structured programs,
+ * the transformed module computes exactly what the baseline computes,
+ * for every pass configuration.
+ */
+struct EquivCase
+{
+    uint64_t seed;
+    bool hoisting;
+    bool tracking;
+};
+
+class TransformEquivalence : public ::testing::TestWithParam<EquivCase>
+{
+};
+
+TEST_P(TransformEquivalence, BaselineAndTransformedAgree)
+{
+    const EquivCase param = GetParam();
+    testgen::GenOptions gen_options;
+    gen_options.useFrees = (param.seed % 2) == 0;
+
+    // Baseline: same seed, untouched module, plain malloc memory.
+    Module baseline;
+    Function *base_fn =
+        testgen::generateProgram(baseline, param.seed, gen_options);
+    ASSERT_TRUE(verify(*base_fn).ok()) << verify(*base_fn).joined();
+    Interpreter base_interp(baseline);
+    testgen::registerGenExternals(base_interp);
+    const int64_t expected = base_interp.run(*base_fn, {99});
+
+    // Transformed: identical program through the full pipeline,
+    // running on real handles.
+    MallocService service;
+    Runtime runtime(RuntimeConfig{.tableCapacity = 1u << 14});
+    runtime.attachService(&service);
+    ThreadRegistration reg(runtime);
+
+    Module transformed;
+    Function *trans_fn =
+        testgen::generateProgram(transformed, param.seed, gen_options);
+    PassOptions options;
+    options.hoisting = param.hoisting;
+    options.tracking = param.tracking;
+    runPipeline(transformed, options);
+    if (param.tracking && param.hoisting) {
+        ASSERT_TRUE(verifyTransformed(*trans_fn).ok())
+            << verifyTransformed(*trans_fn).joined();
+    }
+
+    Interpreter interp(transformed, &runtime);
+    testgen::registerGenExternals(interp);
+    EXPECT_EQ(interp.run(*trans_fn, {99}), expected);
+    EXPECT_GT(interp.stats().translations, 0u);
+    EXPECT_EQ(runtime.table().liveCount(), 0u) << "leaked handles";
+}
+
+std::vector<EquivCase>
+equivCases()
+{
+    std::vector<EquivCase> cases;
+    for (uint64_t seed = 1; seed <= 12; seed++) {
+        cases.push_back({seed, true, true});
+        cases.push_back({seed, false, true});
+        cases.push_back({seed, true, false});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, TransformEquivalence,
+                         ::testing::ValuesIn(equivCases()));
+
+TEST(DefragUnderExecution, ObjectsMoveWhileTheProgramRuns)
+{
+    // A transformed program runs on Anchorage while another thread
+    // triggers defragmentation passes. Safepoints park the interpreter
+    // mid-program; pinned translations keep raw pointers valid; the
+    // final checksum must match a quiet baseline run.
+    testgen::GenOptions gen_options;
+    gen_options.statements = 40;
+
+    Module baseline;
+    Function *base_fn = testgen::generateProgram(baseline, 777,
+                                                 gen_options);
+    Interpreter base_interp(baseline);
+    testgen::registerGenExternals(base_interp);
+    const int64_t expected = base_interp.run(*base_fn, {5});
+
+    RealAddressSpace space;
+    anchorage::AnchorageService service(
+        space, anchorage::AnchorageConfig{.subHeapBytes = 1 << 20});
+    Runtime runtime(RuntimeConfig{.tableCapacity = 1u << 14});
+    runtime.attachService(&service);
+
+    Module transformed;
+    Function *trans_fn = testgen::generateProgram(transformed, 777,
+                                                  gen_options);
+    runPipeline(transformed);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> defrags{0};
+    std::thread defragger([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            service.defrag(SIZE_MAX);
+            defrags.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    {
+        ThreadRegistration reg(runtime);
+        Interpreter interp(transformed, &runtime);
+        testgen::registerGenExternals(interp);
+        for (int round = 0; round < 50; round++)
+            ASSERT_EQ(interp.run(*trans_fn, {5}), expected);
+    }
+    stop.store(true);
+    defragger.join();
+    EXPECT_GT(defrags.load(), 0u);
+    EXPECT_EQ(runtime.table().liveCount(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic random structured-program generator for compiler
+ * property tests.
+ *
+ * Programs use memory-resident variables (slots in a locals array)
+ * instead of SSA phis, which keeps generation simple while producing
+ * exactly the access patterns the Alaska passes care about: loads and
+ * stores on heap roots from inside nested loops and branches, pointer
+ * values stored to and reloaded from memory (pointer chasing), frees,
+ * and escapes to external code. The same seed always generates the
+ * same program, so baseline and to-be-transformed copies can be built
+ * independently.
+ */
+
+#ifndef ALASKA_TESTS_IR_PROGRAM_GEN_H
+#define ALASKA_TESTS_IR_PROGRAM_GEN_H
+
+#include <string>
+
+#include "base/rng.h"
+#include "ir/builder.h"
+#include "ir/interpreter.h"
+#include "ir/ir.h"
+
+namespace alaska::testgen
+{
+
+/** Knobs for the generator. */
+struct GenOptions
+{
+    int arrays = 3;           ///< heap arrays allocated at entry
+    int arrayLen = 16;        ///< elements per array
+    int scalarSlots = 4;      ///< memory-resident scalar variables
+    int statements = 24;      ///< top-level statement budget
+    int maxDepth = 3;         ///< nesting depth of if/while
+    bool useExternalCalls = true;
+    bool usePointerChasing = true;
+    bool useFrees = false;    ///< free one array early (tests hfree)
+};
+
+/**
+ * Build `main(seedArg)` into the module. The program finishes by
+ * summing every array element and live scalar into its return value,
+ * so any divergence in memory effects changes the result.
+ */
+ir::Function *generateProgram(ir::Module &module, uint64_t seed,
+                              const GenOptions &options = {});
+
+/** Register the external functions generated programs may call. */
+void registerGenExternals(ir::Interpreter &interp);
+
+} // namespace alaska::testgen
+
+#endif // ALASKA_TESTS_IR_PROGRAM_GEN_H

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the jemalloc-like slab model and its defrag-hint API (the
+ * substrate of the activedefrag curve in Figures 9 and 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alloc_sim/jemalloc_model.h"
+#include "base/rng.h"
+
+namespace
+{
+
+using namespace alaska;
+
+TEST(JemallocModel, SizeClassesRoundUp)
+{
+    EXPECT_EQ(JemallocModel::classOf(1), 0);
+    EXPECT_EQ(JemallocModel::classOf(16), 0);
+    EXPECT_EQ(JemallocModel::classOf(17), 1);
+    EXPECT_EQ(JemallocModel::classOf(3584), JemallocModel::numClasses() - 1);
+    EXPECT_EQ(JemallocModel::classOf(3585), -1);
+}
+
+TEST(JemallocModel, SlabSharingKeepsRssLow)
+{
+    JemallocModel model;
+    // 1024 16-byte objects fit one 16 KiB slab exactly.
+    for (int i = 0; i < 1024; i++)
+        model.alloc(16);
+    EXPECT_EQ(model.rss(), 16384u);
+}
+
+TEST(JemallocModel, EmptySlabIsReleased)
+{
+    JemallocModel model;
+    std::vector<uint64_t> tokens;
+    for (int i = 0; i < 1024; i++)
+        tokens.push_back(model.alloc(16));
+    EXPECT_EQ(model.rss(), 16384u);
+    for (uint64_t t : tokens)
+        model.free(t);
+    EXPECT_EQ(model.rss(), 0u);
+}
+
+TEST(JemallocModel, SparseSlabsPinPages)
+{
+    JemallocModel model;
+    std::vector<uint64_t> tokens;
+    for (int i = 0; i < 1024 * 8; i++)
+        tokens.push_back(model.alloc(16));
+    const size_t rss_full = model.rss();
+    // Keep one object per slab: every page stays resident.
+    for (size_t i = 0; i < tokens.size(); i++) {
+        if (i % 1024 != 0)
+            model.free(tokens[i]);
+    }
+    EXPECT_EQ(model.rss(), rss_full);
+}
+
+TEST(JemallocModel, LargeAllocationsReleaseOnFree)
+{
+    JemallocModel model;
+    const uint64_t t = model.alloc(1 << 20);
+    EXPECT_GE(model.rss(), 1u << 20);
+    model.free(t);
+    EXPECT_EQ(model.rss(), 0u);
+}
+
+TEST(JemallocModel, DefragHintFiresForSparseSlabs)
+{
+    JemallocModel model;
+    std::vector<uint64_t> tokens;
+    for (int i = 0; i < 2048; i++)
+        tokens.push_back(model.alloc(16));
+    // Drain the first slab to 1/1024 occupancy, keep the second full.
+    for (int i = 1; i < 1024; i++)
+        model.free(tokens[i]);
+    // No non-full denser slab exists yet -> no point moving.
+    // Free one from the second slab to open a denser destination.
+    model.free(tokens[1500]);
+    EXPECT_TRUE(model.shouldMove(tokens[0]));
+    // An object in the nearly-full slab must not want to move.
+    EXPECT_FALSE(model.shouldMove(tokens[1024]));
+}
+
+TEST(JemallocModel, DefragLoopReclaimsSparseSlabs)
+{
+    // The full activedefrag mechanism: realloc hinted objects until the
+    // hints stop firing; sparse slabs must drain and be released.
+    JemallocModel model;
+    Rng rng(17);
+    std::vector<uint64_t> tokens;
+    for (int i = 0; i < 1024 * 16; i++)
+        tokens.push_back(model.alloc(48));
+    // Random 80% eviction leaves most slabs sparse but nonempty.
+    for (auto &token : tokens) {
+        if (rng.chance(0.8)) {
+            model.free(token);
+            token = 0;
+        }
+    }
+    const size_t rss_before = model.rss();
+    int moves = 0;
+    for (int round = 0; round < 64; round++) {
+        bool any = false;
+        for (auto &token : tokens) {
+            if (token == 0 || !model.shouldMove(token))
+                continue;
+            model.free(token);
+            token = model.alloc(48);
+            moves++;
+            any = true;
+        }
+        if (!any)
+            break;
+    }
+    EXPECT_GT(moves, 0);
+    EXPECT_LT(model.rss(), rss_before / 2);
+    // Accounting still exact.
+    size_t live = 0;
+    for (uint64_t t : tokens)
+        live += (t != 0) ? 48 : 0;
+    EXPECT_EQ(model.activeBytes(), live);
+}
+
+/** Property: random churn keeps RSS >= active and accounting exact. */
+class JemallocChurn : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(JemallocChurn, AccountingInvariants)
+{
+    JemallocModel model;
+    Rng rng(GetParam());
+    std::vector<std::pair<uint64_t, size_t>> live;
+    size_t expected = 0;
+    for (int step = 0; step < 30000; step++) {
+        if (live.empty() || rng.chance(0.52)) {
+            const size_t size = 1 + rng.below(4096);
+            const uint64_t t = model.alloc(size);
+            size_t charged;
+            const int cls = JemallocModel::classOf(size);
+            if (cls >= 0) {
+                charged = JemallocModel::classSize(cls);
+            } else {
+                charged = (size + 4095) / 4096 * 4096;
+            }
+            live.emplace_back(t, charged);
+            expected += charged;
+        } else {
+            const size_t idx = rng.below(live.size());
+            model.free(live[idx].first);
+            expected -= live[idx].second;
+            live[idx] = live.back();
+            live.pop_back();
+        }
+        ASSERT_EQ(model.activeBytes(), expected);
+        ASSERT_GE(model.rss() + 4096, model.activeBytes());
+    }
+    for (auto &[t, s] : live)
+        model.free(t);
+    EXPECT_EQ(model.activeBytes(), 0u);
+    EXPECT_EQ(model.rss(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JemallocChurn,
+                         ::testing::Values(41, 42, 43));
+
+} // namespace

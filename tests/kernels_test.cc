@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Equivalence tests for the benchmark kernels: every configuration
+ * (base / alaska / nohoisting / notracking) of every kernel must
+ * compute the identical checksum — the kernels are deterministic, so
+ * any divergence means the handle machinery corrupted something.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "anchorage/anchorage_service.h"
+#include "core/malloc_service.h"
+#include "core/runtime.h"
+#include "kernels/registry.h"
+#include "sim/address_space.h"
+
+namespace
+{
+
+using namespace alaska;
+using namespace alaska::kernels;
+
+/** Shrink scales so the whole matrix stays fast in tests. */
+size_t
+testScale(const KernelEntry &entry)
+{
+    const std::string name = entry.name;
+    if (name == "crc32")
+        return 12;
+    if (name == "matmult-int")
+        return 48;
+    if (name == "nbody")
+        return 128;
+    if (name == "primecount")
+        return 100000;
+    if (name == "listsort")
+        return 4000;
+    if (name == "huffbench")
+        return 20000;
+    if (name == "bfs")
+        return 20000;
+    if (name == "pr" || name == "sssp")
+        return 8000;
+    if (name == "cc")
+        return 10000;
+    if (name == "cg")
+        return 6000;
+    if (name == "mg")
+        return 20;
+    if (name == "ep")
+        return 100000;
+    if (name == "is")
+        return 40000;
+    if (name == "mcf-sort")
+        return 8000;
+    if (name == "lbm-grid")
+        return 48;
+    if (name == "xalanc-tree")
+        return 10000;
+    if (name == "xz-match")
+        return 1 << 14;
+    if (name == "deepsjeng-tt")
+        return 100000;
+    if (name == "imagick-conv")
+        return 64;
+    return entry.scale / 16 + 1;
+}
+
+class KernelEquivalence
+    : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(KernelEquivalence, AllConfigsComputeTheSameChecksum)
+{
+    const KernelEntry &entry = kernelRegistry()[GetParam()];
+    const size_t scale = testScale(entry);
+
+    const int64_t expected = entry.base(scale);
+
+    MallocService service;
+    Runtime runtime(RuntimeConfig{.tableCapacity = 1u << 20});
+    runtime.attachService(&service);
+    ThreadRegistration reg(runtime);
+
+    EXPECT_EQ(entry.alaska(scale), expected)
+        << entry.suite << "/" << entry.name << " (alaska)";
+    EXPECT_EQ(entry.nohoist(scale), expected)
+        << entry.suite << "/" << entry.name << " (nohoisting)";
+    EXPECT_EQ(entry.notrack(scale), expected)
+        << entry.suite << "/" << entry.name << " (notracking)";
+    EXPECT_EQ(runtime.table().liveCount(), 0u)
+        << entry.name << " leaked handles";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelEquivalence,
+    ::testing::Range<size_t>(0, kernelRegistry().size()),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        std::string name = kernelRegistry()[info.param].name;
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(KernelDefragRace, KernelsSurviveConcurrentDefragmentation)
+{
+    // The strongest end-to-end claim for native code: kernels run on
+    // Anchorage while another thread defragments between their
+    // safepoints; pinned translations keep hoisted raw pointers
+    // valid, and every checksum must still match the raw baseline.
+    RealAddressSpace space;
+    anchorage::AnchorageService service(
+        space, anchorage::AnchorageConfig{.subHeapBytes = 1 << 20});
+    Runtime runtime(RuntimeConfig{.tableCapacity = 1u << 20});
+    runtime.attachService(&service);
+
+    std::atomic<bool> stop{false};
+    std::thread defragger([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            service.defrag(SIZE_MAX);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    });
+
+    {
+        ThreadRegistration reg(runtime);
+        for (const auto &entry : kernelRegistry()) {
+            const std::string name = entry.name;
+            // A representative mix: chasing, hoisted-numeric, graph.
+            if (name != "listsort" && name != "matmult-int" &&
+                name != "bfs" && name != "xalanc-tree" &&
+                name != "mcf-sort") {
+                continue;
+            }
+            const size_t scale = testScale(entry);
+            const int64_t expected = entry.base(scale);
+            for (int round = 0; round < 3; round++) {
+                ASSERT_EQ(entry.alaska(scale), expected)
+                    << name << " diverged under concurrent defrag";
+            }
+        }
+    }
+    stop.store(true);
+    defragger.join();
+    EXPECT_GT(runtime.stats().barriers, 0u);
+    EXPECT_EQ(runtime.table().liveCount(), 0u);
+}
+
+TEST(KernelRegistry, CoversAllFourSuites)
+{
+    bool embench = false, gap = false, nas = false, spec = false;
+    for (const auto &entry : kernelRegistry()) {
+        const std::string suite = entry.suite;
+        embench |= (suite == "embench");
+        gap |= (suite == "gap");
+        nas |= (suite == "nas");
+        spec |= (suite == "spec");
+    }
+    EXPECT_TRUE(embench && gap && nas && spec);
+    EXPECT_GE(kernelRegistry().size(), 20u);
+}
+
+} // namespace

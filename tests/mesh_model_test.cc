@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the Mesh allocator model: randomized placement, meshing of
+ * disjoint spans, and its accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "base/rng.h"
+#include "mesh/mesh_model.h"
+
+namespace
+{
+
+using namespace alaska;
+
+TEST(MeshModel, TokensAreUniqueAndAligned)
+{
+    MeshModel model;
+    std::unordered_set<uint64_t> seen;
+    for (int i = 0; i < 10000; i++) {
+        const uint64_t t = model.alloc(64);
+        EXPECT_EQ(t % 64, 0u);
+        EXPECT_TRUE(seen.insert(t).second);
+    }
+}
+
+TEST(MeshModel, EmptyFrameIsReleased)
+{
+    MeshModel model;
+    std::vector<uint64_t> tokens;
+    for (int i = 0; i < 64; i++)
+        tokens.push_back(model.alloc(64)); // 4096/64 = one span's worth
+    EXPECT_GE(model.rss(), 4096u);
+    for (uint64_t t : tokens)
+        model.free(t);
+    EXPECT_EQ(model.rss(), 0u);
+}
+
+TEST(MeshModel, MeshingMergesDisjointSpans)
+{
+    MeshModel model(/*seed=*/7);
+    // Allocate a lot, then free most: sparse spans with random slots
+    // are exactly what meshes well.
+    std::vector<uint64_t> tokens;
+    for (int i = 0; i < 64 * 200; i++)
+        tokens.push_back(model.alloc(64));
+    Rng rng(5);
+    size_t live = tokens.size();
+    for (auto &t : tokens) {
+        if (rng.chance(0.9)) {
+            model.free(t);
+            t = 0;
+            live--;
+        }
+    }
+    const size_t rss_before = model.rss();
+    for (int pass = 0; pass < 50; pass++)
+        model.maintain();
+    EXPECT_GT(model.meshCount(), 0u);
+    EXPECT_LT(model.rss(), rss_before);
+    // Every survivor must still be freeable exactly once.
+    for (uint64_t t : tokens) {
+        if (t)
+            model.free(t);
+    }
+    EXPECT_EQ(model.activeBytes(), 0u);
+}
+
+TEST(MeshModel, MeshingPreservesLiveAccountingAndFrees)
+{
+    // Meshing only changes page residency, never what is live: active
+    // bytes are invariant across maintain(), and every token freed
+    // afterwards clears exactly one slot (no double-accounting through
+    // the union bitmaps).
+    MeshModel model(11);
+    std::vector<uint64_t> tokens;
+    for (int i = 0; i < 64 * 50; i++)
+        tokens.push_back(model.alloc(64));
+    Rng rng(12);
+    for (auto &t : tokens) {
+        if (rng.chance(0.7)) {
+            model.free(t);
+            t = 0;
+        }
+    }
+    const size_t active_before = model.activeBytes();
+    for (int pass = 0; pass < 20; pass++)
+        model.maintain();
+    EXPECT_EQ(model.activeBytes(), active_before);
+    for (uint64_t t : tokens) {
+        if (t)
+            model.free(t);
+    }
+    EXPECT_EQ(model.activeBytes(), 0u);
+    EXPECT_EQ(model.rss(), 0u);
+}
+
+TEST(MeshModel, FreeThroughMeshedSpanIsCorrect)
+{
+    MeshModel model(13);
+    std::vector<uint64_t> tokens;
+    for (int i = 0; i < 64 * 100; i++)
+        tokens.push_back(model.alloc(64));
+    Rng rng(6);
+    std::vector<uint64_t> survivors;
+    for (uint64_t t : tokens) {
+        if (rng.chance(0.85)) {
+            model.free(t);
+        } else {
+            survivors.push_back(t);
+        }
+    }
+    for (int pass = 0; pass < 50; pass++)
+        model.maintain();
+    // Frees via the *original* (possibly meshed-away) virtual addresses
+    // must still clear the right physical slots.
+    for (uint64_t t : survivors)
+        model.free(t);
+    EXPECT_EQ(model.activeBytes(), 0u);
+    EXPECT_EQ(model.rss(), 0u);
+}
+
+TEST(MeshModel, LargeObjectsBypassSpans)
+{
+    MeshModel model;
+    const uint64_t t = model.alloc(100000);
+    EXPECT_GE(model.rss(), 100000u);
+    model.free(t);
+    EXPECT_EQ(model.rss(), 0u);
+}
+
+TEST(MeshModel, MeshingIsDeterministicPerSeed)
+{
+    auto run = [](uint64_t seed) {
+        MeshModel model(seed);
+        std::vector<uint64_t> tokens;
+        for (int i = 0; i < 64 * 100; i++)
+            tokens.push_back(model.alloc(32));
+        Rng rng(9);
+        for (auto &t : tokens) {
+            if (rng.chance(0.8)) {
+                model.free(t);
+                t = 0;
+            }
+        }
+        for (int pass = 0; pass < 10; pass++)
+            model.maintain();
+        return std::make_pair(model.rss(), model.meshCount());
+    };
+    EXPECT_EQ(run(21), run(21));
+    EXPECT_EQ(run(21).first % 4096, 0u);
+}
+
+} // namespace

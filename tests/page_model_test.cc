@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the page-residency model underlying all RSS measurements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/page_model.h"
+
+namespace
+{
+
+using namespace alaska;
+
+TEST(PageModel, TouchMakesPagesResident)
+{
+    PageModel pm(4096);
+    EXPECT_EQ(pm.rss(), 0u);
+    pm.touch(0, 1);
+    EXPECT_EQ(pm.rss(), 4096u);
+    pm.touch(4096, 4096);
+    EXPECT_EQ(pm.rss(), 8192u);
+}
+
+TEST(PageModel, TouchSpanningPagesCountsAll)
+{
+    PageModel pm(4096);
+    pm.touch(4000, 200); // straddles a page boundary
+    EXPECT_EQ(pm.rss(), 8192u);
+}
+
+TEST(PageModel, RepeatTouchIsIdempotent)
+{
+    PageModel pm(4096);
+    pm.touch(0, 4096);
+    pm.touch(0, 4096);
+    EXPECT_EQ(pm.rss(), 4096u);
+}
+
+TEST(PageModel, DiscardReleasesOnlyFullPages)
+{
+    PageModel pm(4096);
+    pm.touch(0, 3 * 4096);
+    // Range covers page 1 fully, pages 0 and 2 partially.
+    pm.discard(100, 2 * 4096);
+    EXPECT_EQ(pm.rss(), 2 * 4096u);
+    EXPECT_TRUE(pm.isResident(0));
+    EXPECT_FALSE(pm.isResident(4096));
+    EXPECT_TRUE(pm.isResident(2 * 4096));
+}
+
+TEST(PageModel, DiscardSmallerThanAPageIsANoop)
+{
+    PageModel pm(4096);
+    pm.touch(0, 4096);
+    pm.discard(0, 100);
+    EXPECT_EQ(pm.rss(), 4096u);
+}
+
+TEST(PageModel, RetouchAfterDiscardCostsAgain)
+{
+    PageModel pm(4096);
+    pm.touch(0, 4096);
+    pm.discard(0, 4096);
+    EXPECT_EQ(pm.rss(), 0u);
+    pm.touch(0, 1);
+    EXPECT_EQ(pm.rss(), 4096u);
+}
+
+TEST(PageModel, AliasSharesAFrame)
+{
+    // The Mesh trick: two virtual pages, one physical frame.
+    PageModel pm(4096);
+    pm.touch(0, 4096);        // page 0 resident
+    pm.touch(8 * 4096, 4096); // page 8 resident
+    EXPECT_EQ(pm.rss(), 2 * 4096u);
+    pm.alias(8 * 4096, 0); // mesh page 8 onto page 0
+    EXPECT_EQ(pm.rss(), 4096u);
+    // Touching through either virtual page keeps one frame.
+    pm.touch(8 * 4096, 4096);
+    pm.touch(0, 4096);
+    EXPECT_EQ(pm.rss(), 4096u);
+}
+
+TEST(PageModel, AliasChainsCollapseToOneFrame)
+{
+    PageModel pm(4096);
+    pm.touch(0, 4096);
+    pm.touch(4096, 4096);
+    pm.touch(8192, 4096);
+    pm.alias(4096, 0);
+    pm.alias(8192, 4096); // through the alias, lands on frame 0
+    EXPECT_EQ(pm.rss(), 4096u);
+}
+
+TEST(PageModel, CustomPageSize)
+{
+    PageModel pm(1 << 16); // 64 KiB "pages"
+    pm.touch(1, 2);
+    EXPECT_EQ(pm.rss(), static_cast<size_t>(1 << 16));
+}
+
+} // namespace

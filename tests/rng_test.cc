@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace
+{
+
+using alaska::Rng;
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; i++)
+        equal += (a.next() == b.next());
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100000; i++)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(9);
+    constexpr int buckets = 16;
+    constexpr int draws = 160000;
+    int histogram[buckets] = {};
+    for (int i = 0; i < draws; i++)
+        histogram[rng.below(buckets)]++;
+    for (int count : histogram) {
+        EXPECT_GT(count, draws / buckets * 0.9);
+        EXPECT_LT(count, draws / buckets * 1.1);
+    }
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 100000; i++) {
+        const double x = rng.real();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; i++) {
+        const uint64_t v = rng.range(3, 5);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+} // namespace

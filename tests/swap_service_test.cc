@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the handle-fault-based swap service and the concurrent
+ * relocation experiment (paper §7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+
+#include "core/malloc_service.h"
+#include "core/pin.h"
+#include "core/runtime.h"
+#include "core/translate.h"
+#include "services/concurrent_reloc.h"
+#include "services/swap_service.h"
+
+namespace
+{
+
+using namespace alaska;
+
+class SwapTest : public ::testing::Test
+{
+  protected:
+    SwapTest() : runtime_(RuntimeConfig{.tableCapacity = 1u << 12}),
+                 registration_(runtime_)
+    {
+        runtime_.attachService(&service_);
+    }
+
+    // Declaration order matters: the service must outlive the runtime.
+    SwapService service_;
+    Runtime runtime_;
+    ThreadRegistration registration_;
+};
+
+TEST_F(SwapTest, SwapOutMovesBytesToColdTier)
+{
+    void *h = runtime_.halloc(128);
+    std::memset(translate(h), 0x7e, 128);
+    const uint32_t id = handleId(reinterpret_cast<uint64_t>(h));
+    EXPECT_EQ(service_.hotBytes(), 128u);
+    runtime_.barrier([&](const PinnedSet &) { service_.swapOut(id); });
+    EXPECT_EQ(service_.hotBytes(), 0u);
+    EXPECT_EQ(service_.coldBytes(), 128u);
+    EXPECT_TRUE(runtime_.table().entry(id).invalid());
+    runtime_.hfree(h);
+}
+
+TEST_F(SwapTest, CheckedTranslationFaultsTheObjectBackIn)
+{
+    void *h = runtime_.halloc(64);
+    std::memset(translate(h), 0x3c, 64);
+    const uint32_t id = handleId(reinterpret_cast<uint64_t>(h));
+    runtime_.barrier([&](const PinnedSet &) { service_.swapOut(id); });
+
+    // Object-granularity "page fault": translateChecked restores it.
+    auto *p = static_cast<unsigned char *>(translateChecked(h));
+    for (int i = 0; i < 64; i++)
+        ASSERT_EQ(p[i], 0x3c);
+    EXPECT_EQ(service_.swapIns(), 1u);
+    EXPECT_EQ(service_.coldBytes(), 0u);
+    EXPECT_FALSE(runtime_.table().entry(id).invalid());
+    EXPECT_EQ(runtime_.stats().faults, 1u);
+    runtime_.hfree(h);
+}
+
+TEST_F(SwapTest, FaultPreservesInteriorOffsets)
+{
+    void *h = runtime_.halloc(256);
+    auto *p = static_cast<char *>(translate(h));
+    p[200] = 'x';
+    const uint32_t id = handleId(reinterpret_cast<uint64_t>(h));
+    runtime_.barrier([&](const PinnedSet &) { service_.swapOut(id); });
+    void *interior =
+        reinterpret_cast<void *>(reinterpret_cast<uint64_t>(h) + 200);
+    EXPECT_EQ(*static_cast<char *>(translateChecked(interior)), 'x');
+    runtime_.hfree(h);
+}
+
+TEST_F(SwapTest, PinnedObjectsAreNotEvicted)
+{
+    void *hot = runtime_.halloc(64);
+    void *cold = runtime_.halloc(64);
+    ALASKA_PIN_FRAME(frame, 1);
+    frame.pin(0, hot);
+    EXPECT_EQ(service_.swapOutAllUnpinned(), 1u);
+    const uint32_t hot_id = handleId(reinterpret_cast<uint64_t>(hot));
+    const uint32_t cold_id = handleId(reinterpret_cast<uint64_t>(cold));
+    EXPECT_FALSE(runtime_.table().entry(hot_id).invalid());
+    EXPECT_TRUE(runtime_.table().entry(cold_id).invalid());
+    runtime_.hfree(hot);
+    runtime_.hfree(cold);
+}
+
+TEST_F(SwapTest, FreeingASwappedObjectDropsTheColdCopy)
+{
+    void *h = runtime_.halloc(512);
+    const uint32_t id = handleId(reinterpret_cast<uint64_t>(h));
+    runtime_.barrier([&](const PinnedSet &) { service_.swapOut(id); });
+    EXPECT_EQ(service_.coldBytes(), 512u);
+    runtime_.hfree(h);
+    EXPECT_EQ(service_.coldBytes(), 0u);
+}
+
+TEST_F(SwapTest, WorkingSetSwapsInUnderChurn)
+{
+    // Evict everything, then touch a working set; only it returns.
+    std::vector<void *> handles;
+    for (int i = 0; i < 100; i++) {
+        handles.push_back(runtime_.halloc(1024));
+        std::memset(translate(handles.back()), i, 1024);
+    }
+    EXPECT_EQ(service_.swapOutAllUnpinned(), 100u);
+    EXPECT_EQ(service_.hotBytes(), 0u);
+    for (int i = 0; i < 10; i++) {
+        auto *p = static_cast<unsigned char *>(
+            translateChecked(handles[i]));
+        ASSERT_EQ(p[500], static_cast<unsigned char>(i));
+    }
+    EXPECT_EQ(service_.hotBytes(), 10 * 1024u);
+    EXPECT_EQ(service_.coldBytes(), 90 * 1024u);
+    for (void *h : handles)
+        runtime_.hfree(h);
+}
+
+class RelocTest : public ::testing::Test
+{
+  protected:
+    RelocTest() : runtime_(RuntimeConfig{.tableCapacity = 1u << 12}),
+                  registration_(runtime_)
+    {
+        runtime_.attachService(&service_);
+    }
+
+    // Declaration order matters: the service must outlive the runtime.
+    MallocService service_;
+    Runtime runtime_;
+    ThreadRegistration registration_;
+};
+
+TEST_F(RelocTest, UncontendedRelocationCommits)
+{
+    void *h = runtime_.halloc(64);
+    std::memset(translate(h), 0x42, 64);
+    void *before = translate(h);
+    const uint32_t id = handleId(reinterpret_cast<uint64_t>(h));
+    EXPECT_TRUE(tryRelocateConcurrent(runtime_, id));
+    void *after = translate(h);
+    EXPECT_NE(before, after);
+    auto *p = static_cast<unsigned char *>(after);
+    for (int i = 0; i < 64; i++)
+        ASSERT_EQ(p[i], 0x42);
+    runtime_.hfree(h);
+}
+
+TEST_F(RelocTest, AccessorAbortsInFlightRelocation)
+{
+    // Simulate the race by hand: mark, then access, then commit fails.
+    void *h = runtime_.halloc(64);
+    const uint32_t id = handleId(reinterpret_cast<uint64_t>(h));
+    auto &entry = runtime_.table().entry(id);
+    void *old_ptr = entry.ptr.load();
+    // Mover phase 1 (mark).
+    entry.ptr.store(reinterpret_cast<void *>(
+        reinterpret_cast<uint64_t>(old_ptr) | 1));
+    // Accessor arrives: translateConcurrent clears the mark.
+    EXPECT_EQ(translateConcurrent(h), old_ptr);
+    EXPECT_EQ(entry.ptr.load(), old_ptr);
+    runtime_.hfree(h);
+}
+
+TEST_F(RelocTest, RacingMutatorsNeverSeeTornObjects)
+{
+    // Enough objects that each is unpinned most of the time, so the
+    // mover finds windows to commit; few enough that conflicts (and
+    // thus aborts) still happen.
+    constexpr int n_objects = 256;
+    constexpr size_t obj_size = 256;
+    std::vector<void *> handles;
+    for (int i = 0; i < n_objects; i++) {
+        handles.push_back(runtime_.halloc(obj_size));
+        // Object invariant: all bytes equal.
+        std::memset(translateConcurrent(handles.back()), 7, obj_size);
+    }
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> checks{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++) {
+        threads.emplace_back([&, t] {
+            ThreadRegistration reg(runtime_);
+            Rng rng(t);
+            // Each thread owns a disjoint slice of the objects, so the
+            // only writer racing a mutator is the relocator itself.
+            const int lo = t * (n_objects / 4);
+            while (!stop.load(std::memory_order_relaxed)) {
+                void *h = handles[lo + rng.below(n_objects / 4)];
+                ConcurrentPin pin(h);
+                auto *p = static_cast<unsigned char *>(pin.get());
+                const unsigned char v = p[0];
+                for (size_t i = 0; i < obj_size; i++)
+                    ASSERT_EQ(p[i], v);
+                const auto next = static_cast<unsigned char>(v + 1);
+                std::memset(p, next, obj_size);
+                checks.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    RelocStats stats;
+    Rng rng(99);
+    for (int i = 0; i < 20000; i++) {
+        const uint32_t id = handleId(
+            reinterpret_cast<uint64_t>(handles[rng.below(n_objects)]));
+        stats.attempts++;
+        if (tryRelocateConcurrent(runtime_, id)) {
+            stats.committed++;
+        } else {
+            stats.aborted++;
+        }
+    }
+    stop.store(true);
+    for (auto &th : threads)
+        th.join();
+    EXPECT_GT(checks.load(), 0u);
+    EXPECT_GT(stats.committed, 0u);
+    for (void *h : handles)
+        runtime_.hfree(h);
+}
+
+} // namespace

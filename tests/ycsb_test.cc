@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the YCSB workload generator: zipfian distribution
+ * properties and workload mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ycsb/ycsb.h"
+
+namespace
+{
+
+using namespace alaska::ycsb;
+
+TEST(Zipfian, StaysInRange)
+{
+    ZipfianGenerator gen(1000, 0.99, 3);
+    for (int i = 0; i < 100000; i++)
+        ASSERT_LT(gen.next(), 1000u);
+}
+
+TEST(Zipfian, IsSkewedTowardLowRanks)
+{
+    ZipfianGenerator gen(10000, 0.99, 5);
+    size_t top10 = 0, draws = 200000;
+    for (size_t i = 0; i < draws; i++)
+        top10 += (gen.next() < 10);
+    // With theta=.99 over 10k items, the top-10 ranks get roughly a
+    // quarter of the mass; uniform would give 0.1%.
+    EXPECT_GT(static_cast<double>(top10) / draws, 0.15);
+}
+
+TEST(Zipfian, RankFrequenciesDecreaseRoughlyMonotonically)
+{
+    ZipfianGenerator gen(100, 0.99, 7);
+    std::vector<size_t> counts(100, 0);
+    for (int i = 0; i < 300000; i++)
+        counts[gen.next()]++;
+    EXPECT_GT(counts[0], counts[9]);
+    EXPECT_GT(counts[9], counts[49]);
+    EXPECT_GT(counts[0], 3 * counts[50]);
+}
+
+TEST(Zipfian, DeterministicPerSeed)
+{
+    ZipfianGenerator a(1000, 0.99, 11), b(1000, 0.99, 11);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Workload, MixesMatchSpecification)
+{
+    auto fraction = [](WorkloadKind kind, OpType op) {
+        Workload w(kind, 1000, 17);
+        int hits = 0, total = 50000;
+        for (int i = 0; i < total; i++)
+            hits += (w.next().op == op);
+        return static_cast<double>(hits) / total;
+    };
+    EXPECT_NEAR(fraction(WorkloadKind::A, OpType::Read), 0.5, 0.02);
+    EXPECT_NEAR(fraction(WorkloadKind::A, OpType::Update), 0.5, 0.02);
+    EXPECT_NEAR(fraction(WorkloadKind::B, OpType::Read), 0.95, 0.01);
+    EXPECT_NEAR(fraction(WorkloadKind::C, OpType::Read), 1.0, 1e-9);
+    EXPECT_NEAR(fraction(WorkloadKind::F, OpType::ReadModifyWrite), 0.5,
+                0.02);
+}
+
+TEST(Workload, KeysAreStableAndScattered)
+{
+    EXPECT_EQ(Workload::keyFor(1), Workload::keyFor(1));
+    EXPECT_NE(Workload::keyFor(1), Workload::keyFor(2));
+    // Adjacent ids map to distant keys (YCSB hashes ids).
+    const std::string a = Workload::keyFor(100);
+    const std::string b = Workload::keyFor(101);
+    EXPECT_NE(a.substr(0, 8), b.substr(0, 8));
+}
+
+TEST(Workload, ValuesAreDeterministicWithRequestedSize)
+{
+    Workload w(WorkloadKind::A, 100, 3, 500);
+    EXPECT_EQ(w.valueFor(5).size(), 500u);
+    EXPECT_EQ(w.valueFor(5), w.valueFor(5));
+    EXPECT_NE(w.valueFor(5), w.valueFor(6));
+}
+
+} // namespace
