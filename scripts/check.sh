@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build (with -Wall -Wextra), and run every
+# registered test suite. Developers run this locally; CI runs the same
+# steps (.github/workflows/ci.yml).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"

@@ -43,9 +43,17 @@ class AnchorageAllocModel : public AllocModel
           controller_(service_, clock, control)
     {
         runtime_->attachService(&service_);
+        // Register the driving thread so halloc/hfree (including the
+        // defrag-driven reallocation behind maintain()) run on the
+        // magazine fast path instead of the shared free-list shards.
+        registration_ = std::make_unique<ThreadRegistration>(*runtime_);
     }
 
-    ~AnchorageAllocModel() override { runtime_.reset(); }
+    ~AnchorageAllocModel() override
+    {
+        registration_.reset();
+        runtime_.reset();
+    }
 
     uint64_t
     alloc(size_t size) override
@@ -75,6 +83,7 @@ class AnchorageAllocModel : public AllocModel
   private:
     AnchorageService service_;
     std::unique_ptr<Runtime> runtime_;
+    std::unique_ptr<ThreadRegistration> registration_;
     DefragController controller_;
     ControlAction lastAction_;
 };

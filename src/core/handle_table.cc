@@ -2,6 +2,7 @@
 
 #include <sys/mman.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "base/logging.h"
@@ -9,8 +10,34 @@
 namespace alaska
 {
 
+namespace
+{
+
+/**
+ * Shard assignment: each thread is mapped to a shard once, on first
+ * contact with any handle table. A round-robin counter spreads threads
+ * perfectly across shards, unlike hashing the (often sequential)
+ * std::thread::id values, which can collide badly.
+ */
+std::atomic<uint32_t> gNextShardSeed{0};
+thread_local uint32_t tlsShardIndex = UINT32_MAX;
+
+uint32_t
+shardIndexForThisThread()
+{
+    if (tlsShardIndex == UINT32_MAX) {
+        tlsShardIndex = gNextShardSeed.fetch_add(1, std::memory_order_relaxed) &
+                        (HandleTable::numShards - 1);
+    }
+    return tlsShardIndex;
+}
+
+} // anonymous namespace
+
 HandleTable::HandleTable(uint32_t capacity) : capacity_(capacity)
 {
+    static_assert((numShards & (numShards - 1)) == 0,
+                  "numShards must be a power of two");
     ALASKA_ASSERT(capacity > 0 && capacity <= maxHandleId,
                   "capacity %u out of range", capacity);
     const size_t bytes = static_cast<size_t>(capacity) *
@@ -32,32 +59,106 @@ HandleTable::~HandleTable()
     }
 }
 
+HandleTable::Shard &
+HandleTable::homeShard()
+{
+    return shards_[shardIndexForThisThread()];
+}
+
+uint32_t
+HandleTable::bumpBatch(uint32_t *out, uint32_t want)
+{
+    uint32_t cur = bump_.load(std::memory_order_relaxed);
+    for (;;) {
+        if (cur >= capacity_)
+            return 0;
+        const uint32_t take = std::min(want, capacity_ - cur);
+        if (bump_.compare_exchange_weak(cur, cur + take,
+                                        std::memory_order_relaxed)) {
+            for (uint32_t i = 0; i < take; i++)
+                out[i] = cur + i;
+            return take;
+        }
+    }
+}
+
+uint32_t
+HandleTable::stealBatch(uint32_t *out, uint32_t want)
+{
+    uint32_t n = 0;
+    for (uint32_t s = 0; s < numShards && n < want; s++) {
+        Shard &shard = shards_[s];
+        std::lock_guard<std::mutex> guard(shard.mutex);
+        while (n < want && !shard.freeList.empty()) {
+            out[n++] = shard.freeList.back();
+            shard.freeList.pop_back();
+        }
+    }
+    return n;
+}
+
 uint32_t
 HandleTable::allocate()
 {
-    {
-        std::lock_guard<std::mutex> guard(freeMutex_);
-        if (!freeList_.empty()) {
-            const uint32_t id = freeList_.back();
-            freeList_.pop_back();
-            auto &e = table_[id];
-            e.state.store(HandleTableEntry::Allocated,
-                          std::memory_order_relaxed);
-            live_.fetch_add(1, std::memory_order_relaxed);
-            return id;
-        }
-    }
-    const uint32_t id = bump_.fetch_add(1, std::memory_order_relaxed);
-    if (id >= capacity_)
-        fatal("handle table exhausted (%u entries)", capacity_);
-    auto &e = table_[id];
-    e.state.store(HandleTableEntry::Allocated, std::memory_order_relaxed);
-    live_.fetch_add(1, std::memory_order_relaxed);
+    uint32_t id;
+    reserveBatch(&id, 1);
+    activate(id);
     return id;
 }
 
 void
 HandleTable::release(uint32_t id)
+{
+    deactivate(id);
+    Shard &shard = homeShard();
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    shard.freeList.push_back(id);
+}
+
+uint32_t
+HandleTable::reserveBatch(uint32_t *out, uint32_t want)
+{
+    ALASKA_ASSERT(want > 0, "reserveBatch of zero IDs");
+    uint32_t n = 0;
+    {
+        Shard &shard = homeShard();
+        std::lock_guard<std::mutex> guard(shard.mutex);
+        while (n < want && !shard.freeList.empty()) {
+            out[n++] = shard.freeList.back();
+            shard.freeList.pop_back();
+        }
+    }
+    if (n < want)
+        n += bumpBatch(out + n, want - n);
+    if (n == 0)
+        n = stealBatch(out, want);
+    if (n == 0)
+        fatal("handle table exhausted (%u entries)", capacity_);
+    return n;
+}
+
+void
+HandleTable::unreserveBatch(const uint32_t *ids, uint32_t count)
+{
+    if (count == 0)
+        return;
+    Shard &shard = homeShard();
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    shard.freeList.insert(shard.freeList.end(), ids, ids + count);
+}
+
+void
+HandleTable::activate(uint32_t id)
+{
+    ALASKA_ASSERT(id < capacity_, "id %u out of range", id);
+    auto &e = table_[id];
+    ALASKA_ASSERT(!e.allocated(), "activate of live handle %u", id);
+    e.state.store(HandleTableEntry::Allocated, std::memory_order_relaxed);
+    live_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+HandleTable::deactivate(uint32_t id)
 {
     ALASKA_ASSERT(id < capacity_, "id %u out of range", id);
     auto &e = table_[id];
@@ -66,8 +167,6 @@ HandleTable::release(uint32_t id)
     e.size = 0;
     e.state.store(0, std::memory_order_relaxed);
     live_.fetch_sub(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> guard(freeMutex_);
-    freeList_.push_back(id);
 }
 
 HandleTableEntry &

@@ -6,7 +6,12 @@
  * move once handles are live) and is backed lazily by demand paging.
  *
  * Entry allocation is O(1): a free list of recycled IDs is consulted
- * first, then a bump cursor.
+ * first, then a bump cursor. To keep many mutator threads off a single
+ * lock, the free list is split into cache-line-padded shards selected
+ * by thread; the bump cursor stays global so watermark semantics are
+ * unchanged. On top of the shards, reserveBatch()/unreserveBatch() let
+ * per-thread magazines (see ThreadState) move IDs in and out in bulk,
+ * so the steady-state allocate/release path touches no shared state.
  */
 
 #ifndef ALASKA_CORE_HANDLE_TABLE_H
@@ -80,12 +85,16 @@ static_assert(sizeof(HandleTableEntry) == 16,
 /**
  * The single-level handle table.
  *
- * Thread safety: allocate()/release() may be called concurrently; reads
- * of entries through translation are lock-free.
+ * Thread safety: allocate()/release() and the batch reservation API may
+ * be called concurrently; reads of entries through translation are
+ * lock-free.
  */
 class HandleTable
 {
   public:
+    /** Number of free-list shards. Must be a power of two. */
+    static constexpr uint32_t numShards = 16;
+
     /**
      * Reserve a table with the given capacity (entries). The memory is
      * mapped with MAP_NORESERVE so only touched pages consume RSS,
@@ -103,8 +112,38 @@ class HandleTable
      */
     uint32_t allocate();
 
-    /** Return an entry to the free list. */
+    /** Return an entry to the calling thread's free-list shard. */
     void release(uint32_t id);
+
+    // --- batch reservation (magazine refill/flush) ----------------------
+    /**
+     * Reserve up to want IDs for the calling thread, consulting its
+     * free-list shard first and bumping the cursor for the remainder.
+     * Reserved IDs are *not* yet allocated: they are invisible to
+     * liveCount() until activate()d, and must be returned with
+     * unreserveBatch() if never used. Fatals only if the table is
+     * completely exhausted (all shards empty and the cursor at
+     * capacity); otherwise returns at least one ID.
+     *
+     * Reserved IDs parked in per-thread magazines are unreachable to
+     * other threads, so size the table with headroom of roughly
+     * HandleMagazine::capacity x thread count beyond peak live
+     * handles — negligible against the default 2^22-entry capacity.
+     * @return the number of IDs written to out.
+     */
+    uint32_t reserveBatch(uint32_t *out, uint32_t want);
+
+    /** Return unused reserved IDs to the calling thread's shard. */
+    void unreserveBatch(const uint32_t *ids, uint32_t count);
+
+    /** Mark a reserved ID as a live allocation. */
+    void activate(uint32_t id);
+
+    /**
+     * Clear a live entry back to the reserved state *without* putting it
+     * on any free list — the caller keeps the ID (in its magazine).
+     */
+    void deactivate(uint32_t id);
 
     /** Access an entry by ID (bounds-checked in debug). */
     HandleTableEntry &entry(uint32_t id);
@@ -126,12 +165,30 @@ class HandleTable
     uint32_t liveCount() const;
 
   private:
+    /**
+     * One free-list shard, padded so concurrent release() calls from
+     * threads mapped to different shards never share a cache line.
+     */
+    struct alignas(64) Shard
+    {
+        std::mutex mutex;
+        std::vector<uint32_t> freeList;
+    };
+
+    /** The calling thread's home shard (round-robin assigned). */
+    Shard &homeShard();
+
+    /** Bump-allocate up to want fresh IDs; returns how many. */
+    uint32_t bumpBatch(uint32_t *out, uint32_t want);
+
+    /** Steal free IDs from any shard (slow path near exhaustion). */
+    uint32_t stealBatch(uint32_t *out, uint32_t want);
+
     HandleTableEntry *table_ = nullptr;
     uint32_t capacity_ = 0;
     std::atomic<uint32_t> bump_{0};
     std::atomic<uint32_t> live_{0};
-    std::mutex freeMutex_;
-    std::vector<uint32_t> freeList_;
+    Shard shards_[numShards];
 };
 
 } // namespace alaska

@@ -71,6 +71,42 @@ Runtime::service()
     return *service_;
 }
 
+uint32_t
+Runtime::allocateHandleId()
+{
+    ThreadState *ts = tlsState;
+    if (ts == nullptr)
+        return table_.allocate();
+    HandleMagazine &mag = ts->magazine;
+    if (mag.empty())
+        mag.count = table_.reserveBatch(mag.ids, HandleMagazine::capacity);
+    const uint32_t id = mag.ids[--mag.count];
+    table_.activate(id);
+    return id;
+}
+
+void
+Runtime::releaseHandleId(uint32_t id)
+{
+    ThreadState *ts = tlsState;
+    if (ts == nullptr) {
+        table_.release(id);
+        return;
+    }
+    HandleMagazine &mag = ts->magazine;
+    table_.deactivate(id);
+    if (mag.full()) {
+        // Flush the older half, keeping hysteresis: an allocate/release
+        // pattern oscillating at the boundary stays off the shards.
+        constexpr uint32_t flush = HandleMagazine::capacity / 2;
+        table_.unreserveBatch(mag.ids, flush);
+        std::memmove(mag.ids, mag.ids + flush,
+                     (HandleMagazine::capacity - flush) * sizeof(uint32_t));
+        mag.count -= flush;
+    }
+    mag.ids[mag.count++] = id;
+}
+
 void *
 Runtime::halloc(size_t size)
 {
@@ -79,7 +115,7 @@ Runtime::halloc(size_t size)
     if (size >= maxObjectSize)
         fatal("halloc: object of %zu bytes exceeds the 4 GiB handle "
               "offset range; use paging for such regions", size);
-    const uint32_t id = table_.allocate();
+    const uint32_t id = allocateHandleId();
     void *backing = service().alloc(id, size);
     ALASKA_ASSERT(backing != nullptr, "service %s failed to allocate %zu",
                   service().name(), size);
@@ -156,7 +192,7 @@ Runtime::hfree(void *handle)
     ALASKA_ASSERT(e.allocated(), "double hfree of handle %u", id);
     void *ptr = e.ptr.load(std::memory_order_acquire);
     service().free(id, ptr);
-    table_.release(id);
+    releaseHandleId(id);
     nHfrees_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -205,6 +241,12 @@ Runtime::unregisterThread(ThreadState *state)
     ALASKA_ASSERT(state->frames.empty(),
                   "thread exiting with %zu live pin frames",
                   state->frames.size());
+    // Hand any magazine-cached IDs back to the table so they are not
+    // stranded when the thread goes away.
+    if (state->magazine.count > 0) {
+        table_.unreserveBatch(state->magazine.ids, state->magazine.count);
+        state->magazine.count = 0;
+    }
     {
         std::lock_guard<std::mutex> guard(threadMutex_);
         for (auto it = threads_.begin(); it != threads_.end(); ++it) {

@@ -152,6 +152,19 @@ class Runtime
     /** Size requested for a live handle at halloc/hrealloc time. */
     size_t usableSize(void *handle) const;
 
+    // --- handle ID allocation --------------------------------------------
+    /**
+     * Allocate a handle table entry for the calling thread. Threads
+     * registered via ThreadRegistration go through their magazine (see
+     * ThreadState): steady-state calls touch no shared state and refill
+     * in batches from the table's free-list shards. Unregistered
+     * threads fall back to the table's sharded allocate().
+     */
+    uint32_t allocateHandleId();
+
+    /** Release a handle ID allocated by allocateHandleId(). */
+    void releaseHandleId(uint32_t id);
+
     // --- handle table ----------------------------------------------------
     HandleTable &table() { return table_; }
     const HandleTable &table() const { return table_; }

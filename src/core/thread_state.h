@@ -46,12 +46,34 @@ struct PinFrameRecord
     uint32_t count = 0;
 };
 
+/**
+ * A per-thread cache of reserved handle IDs (a "magazine", after
+ * Bonwick's magazine allocator). Steady-state allocate/release pops and
+ * pushes here with no shared state at all; the magazine refills from
+ * and flushes to the handle table's free-list shards in batches.
+ * Owner-thread access only.
+ */
+struct HandleMagazine
+{
+    /** Batch size: one refill grabs this many IDs from the table. */
+    static constexpr uint32_t capacity = 64;
+
+    /** IDs held, LIFO at ids[count - 1]; none are live allocations. */
+    uint32_t ids[capacity];
+    uint32_t count = 0;
+
+    bool empty() const { return count == 0; }
+    bool full() const { return count == capacity; }
+};
+
 /** All barrier-relevant state of one registered thread. */
 struct ThreadState
 {
     std::atomic<ThreadMode> mode{ThreadMode::Managed};
     /** Shadow stack of pin-set frames; owner-writable only. */
     std::vector<PinFrameRecord> frames;
+    /** Cached handle IDs for lock-free allocate/release fast paths. */
+    HandleMagazine magazine;
     /** Statistics: how many times this thread parked in a barrier. */
     uint64_t parks = 0;
 

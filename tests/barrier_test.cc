@@ -141,6 +141,7 @@ TEST_F(BarrierTest, ObjectsMoveUnderConcurrentMutation)
     }
 
     std::atomic<bool> stop{false};
+    std::atomic<uint64_t> iters{0};
     std::vector<std::thread> threads;
     threads.reserve(n_threads);
     for (int t = 0; t < n_threads; t++) {
@@ -156,9 +157,16 @@ TEST_F(BarrierTest, ObjectsMoveUnderConcurrentMutation)
                 }
                 poll();
                 i++;
+                iters.fetch_add(1, std::memory_order_relaxed);
             }
         });
     }
+
+    // On a loaded (or single-core) machine the coordinator can run all
+    // its rounds before any mutator is ever scheduled; wait for real
+    // mutation so the final coherence check observes actual updates.
+    while (iters.load(std::memory_order_relaxed) < n_threads)
+        std::this_thread::yield();
 
     // Coordinator: relocate unpinned objects repeatedly.
     for (int round = 0; round < 200; round++) {

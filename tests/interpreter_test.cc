@@ -246,6 +246,10 @@ TEST(DefragUnderExecution, ObjectsMoveWhileTheProgramRuns)
         for (int round = 0; round < 50; round++)
             ASSERT_EQ(interp.run(*trans_fn, {5}), expected);
     }
+    // On a loaded (or single-core) machine the defragger may not have
+    // been scheduled yet; let it run at least once before stopping.
+    while (defrags.load(std::memory_order_relaxed) == 0)
+        std::this_thread::yield();
     stop.store(true);
     defragger.join();
     EXPECT_GT(defrags.load(), 0u);

@@ -212,6 +212,11 @@ TEST_F(RelocTest, RacingMutatorsNeverSeeTornObjects)
             }
         });
     }
+    // Wait for the mutators to be scheduled at least once (a loaded or
+    // single-core machine can otherwise finish the relocation loop
+    // before any mutator starts, leaving checks == 0).
+    while (checks.load(std::memory_order_relaxed) == 0)
+        std::this_thread::yield();
     RelocStats stats;
     Rng rng(99);
     for (int i = 0; i < 20000; i++) {
