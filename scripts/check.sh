@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Tier-1 verify: configure, build (with -Wall -Wextra), and run every
-# registered test suite. Developers run this locally; CI runs the same
-# steps (.github/workflows/ci.yml).
+# registered test suite, then smoke the bench binaries so they cannot
+# bit-rot. Developers run this locally; CI runs the same steps
+# (.github/workflows/ci.yml).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -10,3 +11,10 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 cd build
 ctest --output-on-failure -j "$(nproc)"
+
+# Bench smoke: tiny iteration counts, output discarded — this only
+# proves the harnesses still run end to end (the multi-threaded YCSB
+# smoke covers the concurrent-relocation daemon path).
+./handle_alloc_bench > /dev/null
+./tab_ycsb_latency --smoke > /dev/null
+echo "bench smoke OK"

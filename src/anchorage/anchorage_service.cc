@@ -4,9 +4,25 @@
 
 #include "base/logging.h"
 #include "base/timer.h"
+#include "core/translate.h"
 
 namespace alaska::anchorage
 {
+
+namespace
+{
+
+/** Live fraction of a sub-heap's extent; 1.0 when empty (never a source). */
+double
+occupancyOf(const SubHeap &heap)
+{
+    return heap.extent() == 0
+               ? 1.0
+               : static_cast<double>(heap.liveBytes()) /
+                     static_cast<double>(heap.extent());
+}
+
+} // anonymous namespace
 
 AnchorageService::AnchorageService(AddressSpace &space,
                                    AnchorageConfig config)
@@ -60,8 +76,36 @@ AnchorageService::alloc(uint32_t id, size_t size)
         auto r = heaps_[cursor_]->alloc(id, size);
         if (r.ok)
             return reinterpret_cast<void *>(r.addr);
-        // Current sub-heap exhausted; try the others.
-        for (size_t i = 0; i < heaps_.size(); i++) {
+        // Current sub-heap exhausted; try the others densest-first, and
+        // holes-anywhere before bumping anything. First-fit in index
+        // order would re-park the cursor on the sparsest heap — exactly
+        // the one a relocation campaign may be evacuating — and a bump
+        // while suitable holes exist regrows the extent that defrag
+        // just fought to trim.
+        std::vector<size_t> by_density(heaps_.size());
+        for (size_t i = 0; i < by_density.size(); i++)
+            by_density[i] = i;
+        // occupancyOf() reports 1.0 for empty heaps (a source-selection
+        // convention); as destinations they must rank last, or a bump
+        // would resurrect the extent a campaign just trimmed to zero.
+        auto dest_density = [&](size_t i) {
+            return heaps_[i]->extent() == 0 ? -1.0
+                                            : occupancyOf(*heaps_[i]);
+        };
+        std::stable_sort(by_density.begin(), by_density.end(),
+                         [&](size_t a, size_t b) {
+                             return dest_density(a) > dest_density(b);
+                         });
+        for (size_t i : by_density) {
+            if (i == cursor_)
+                continue;
+            r = heaps_[i]->allocFromFreeList(id, size);
+            if (r.ok) {
+                cursor_ = i;
+                return reinterpret_cast<void *>(r.addr);
+            }
+        }
+        for (size_t i : by_density) {
             if (i == cursor_)
                 continue;
             r = heaps_[i]->alloc(id, size);
@@ -176,12 +220,7 @@ AnchorageService::defragFully()
     DefragStats total;
     for (;;) {
         const DefragStats pass = defrag(SIZE_MAX);
-        total.movedObjects += pass.movedObjects;
-        total.movedBytes += pass.movedBytes;
-        total.reclaimedBytes += pass.reclaimedBytes;
-        total.pinnedSkips += pass.pinnedSkips;
-        total.measuredSec += pass.measuredSec;
-        total.modeledSec += pass.modeledSec;
+        total.accumulate(pass);
         if (pass.movedBytes == 0 && pass.reclaimedBytes == 0)
             break;
     }
@@ -200,15 +239,10 @@ AnchorageService::movePass(const PinnedSet &pinned, size_t max_bytes)
     std::vector<size_t> order(heaps_.size());
     for (size_t i = 0; i < order.size(); i++)
         order[i] = i;
-    auto occupancy = [&](size_t i) {
-        const SubHeap &h = *heaps_[i];
-        return h.extent() == 0 ? 1.0
-                               : static_cast<double>(h.liveBytes()) /
-                                     static_cast<double>(h.extent());
-    };
     std::stable_sort(order.begin(), order.end(),
                      [&](size_t a, size_t b) {
-                         return occupancy(a) < occupancy(b);
+                         return occupancyOf(*heaps_[a]) <
+                                occupancyOf(*heaps_[b]);
                      });
 
     size_t budget = max_bytes;
@@ -264,6 +298,271 @@ AnchorageService::movePass(const PinnedSet &pinned, size_t max_bytes)
         config_.modelPauseFloor +
         static_cast<double>(stats.movedBytes) / config_.modelBandwidth;
     return stats;
+}
+
+// --- concurrent relocation campaigns (paper §7) ----------------------------
+
+DefragStats
+AnchorageService::relocateCampaign(size_t max_bytes)
+{
+    ALASKA_ASSERT(runtime_ != nullptr, "service not attached");
+    Stopwatch watch;
+    DefragStats stats;
+
+    // Single-mover invariant: the mark protocol assumes exactly one
+    // relocator, so a second concurrent caller backs off empty-handed.
+    bool expected = false;
+    if (!campaignActive_.compare_exchange_strong(expected, true))
+        return stats;
+
+    // Raise the global flag, then drain accessor scopes that opened
+    // before the flag was visible — they translate unpinned and must
+    // finish before the first mark (see ConcurrentAccessScope).
+    Runtime::gConcurrentRelocCampaigns.fetch_add(1,
+                                                 std::memory_order_seq_cst);
+    runtime_->quiesceConcurrentAccessors();
+
+    // Rank sub-heaps emptiest-first once per campaign; sparse heaps are
+    // evacuated into denser ones, like the stop-the-world pass.
+    std::vector<size_t> order;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        order.resize(heaps_.size());
+        for (size_t i = 0; i < order.size(); i++)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return occupancyOf(*heaps_[a]) <
+                                    occupancyOf(*heaps_[b]);
+                         });
+        // Steer fresh mutator allocations to the densest heap (with an
+        // extent to fill) for the campaign's duration: the LIFO free
+        // lists would otherwise hand a just-evacuated top block right
+        // back to the next allocation, undoing the compaction as fast
+        // as it happens.
+        for (size_t r = order.size(); r-- > 0;) {
+            if (heaps_[order[r]]->extent() > 0) {
+                cursor_ = order[r];
+                break;
+            }
+        }
+    }
+
+    size_t budget = max_bytes;
+    const bool registered =
+        runtime_->currentThreadStateOrNull() != nullptr;
+    std::vector<Candidate> candidates;
+    for (size_t rank = 0; rank < order.size() && budget > 0; rank++) {
+        // Snapshot this source's live blocks (top of the extent
+        // downward, §4.3) and its holes immediately before walking it:
+        // under mutator churn a campaign-start snapshot goes stale in
+        // milliseconds, and the holes the churn opens are exactly the
+        // destinations the walk needs. The snapshot is still advisory —
+        // every candidate is revalidated at move time.
+        candidates.clear();
+        SubHeap::CompactionIndex index;
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            SubHeap &heap = *heaps_[order[rank]];
+            const auto &blocks = heap.blocks();
+            size_t snapshotted = 0;
+            for (size_t i = blocks.size();
+                 i-- > 0 && snapshotted < budget;) {
+                if (blocks[i].isFree())
+                    continue;
+                candidates.push_back(
+                    Candidate{blocks[i].handleId, blocks[i].addr,
+                              blocks[i].size, order[rank], rank});
+                snapshotted += blocks[i].size;
+            }
+            if (!candidates.empty())
+                index = heap.buildCompactionIndex();
+        }
+        size_t consecutive_no_space = 0;
+        for (const Candidate &cand : candidates) {
+            if (budget == 0)
+                break;
+            // Keep Hybrid-mode barriers short: the mover reaches a
+            // safepoint between every two object moves.
+            if (registered)
+                poll();
+            const uint64_t no_space_before = stats.noSpace;
+            const uint64_t committed_before = stats.committed;
+            moveOneConcurrent(cand, order, index, stats, budget);
+            if (stats.committed != committed_before)
+                consecutive_no_space = 0;
+            else if (stats.noSpace != no_space_before)
+                consecutive_no_space++;
+            // Once this source's downward holes and every denser heap
+            // are exhausted, deeper (lower-addressed) candidates fare
+            // even worse: stop paying a lock acquisition per candidate
+            // and let the next campaign rescan.
+            if (consecutive_no_space > 1024)
+                break;
+        }
+        // Trim-after-evacuation: give this source's emptied tail back
+        // before moving on, so reclamation keeps pace with the walk.
+        // Shrinking this heap's block vector is safe — its index is
+        // spent, and later sources never use an earlier (sparser) heap
+        // as a destination.
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            stats.reclaimedBytes += heaps_[order[rank]]->trimTop();
+        }
+    }
+
+    // Final sweep: trailing holes opened by mutator frees during the
+    // campaign, and destination heaps whose tails the moves freed.
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        for (auto &heap : heaps_)
+            stats.reclaimedBytes += heap->trimTop();
+    }
+
+    Runtime::gConcurrentRelocCampaigns.fetch_sub(1,
+                                                 std::memory_order_seq_cst);
+    campaignActive_.store(false, std::memory_order_release);
+
+    stats.measuredSec = watch.elapsedSec();
+    // No pause floor: nothing stops, only copy bandwidth is spent.
+    stats.modeledSec =
+        static_cast<double>(stats.movedBytes) / config_.modelBandwidth;
+    return stats;
+}
+
+void
+AnchorageService::moveOneConcurrent(const Candidate &cand,
+                                    const std::vector<size_t> &order,
+                                    SubHeap::CompactionIndex &index,
+                                    DefragStats &stats, size_t &budget)
+{
+    auto &entry = runtime_->table().entry(cand.id);
+
+    // Revalidate against the live entry: the object may have been
+    // freed, reallocated elsewhere, or already moved since the
+    // snapshot. A stale candidate is skipped without counting.
+    void *old_ptr = entry.ptr.load(std::memory_order_acquire);
+    if (reinterpret_cast<uint64_t>(old_ptr) != cand.addr)
+        return;
+
+    // Phase 1: claim a strictly better destination — a lower hole in
+    // the source sub-heap, else a hole in any denser sub-heap — while
+    // holding the heap lock, revalidating that the source block is
+    // still ours. Doing this *before* marking keeps the common no-hole
+    // outcome free of CAS traffic on the entry.
+    uint64_t dest_addr = 0;
+    SubHeap *dest_heap = nullptr;
+    size_t bytes = 0;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        SubHeap &src = *heaps_[cand.heapIdx];
+        const int src_idx = src.findBlock(cand.addr);
+        if (src_idx < 0 || src.blocks()[src_idx].handleId != cand.id)
+            return; // freed and possibly reused since the snapshot
+        bytes = src.blocks()[src_idx].size;
+        const int dest_idx =
+            src.popLowestFreeBelow(index, bytes, cand.addr);
+        if (dest_idx >= 0) {
+            src.claimBlock(dest_idx, cand.id, bytes);
+            dest_addr = src.blocks()[dest_idx].addr;
+            dest_heap = &src;
+        } else {
+            // Prefer an existing hole in any denser heap; falling back
+            // to a bump there is still a win (region-evacuation style):
+            // standing holes rarely match every candidate's size class,
+            // and bumping a dense heap lets the source's whole tail
+            // trim, a net extent reduction for any source below full
+            // occupancy.
+            for (size_t r2 = order.size(); r2-- > cand.rank + 1;) {
+                const SubHeapAlloc r =
+                    heaps_[order[r2]]->allocFromFreeList(cand.id, bytes);
+                if (r.ok) {
+                    dest_addr = r.addr;
+                    dest_heap = heaps_[order[r2]].get();
+                    break;
+                }
+            }
+            for (size_t r2 = order.size();
+                 dest_heap == nullptr && r2-- > cand.rank + 1;) {
+                // Never bump an empty heap: occupancyOf ranks extent-0
+                // heaps densest (a source-selection convention), but as
+                // a destination that would regrow a fully evacuated
+                // region.
+                if (heaps_[order[r2]]->extent() == 0)
+                    continue;
+                const SubHeapAlloc r =
+                    heaps_[order[r2]]->alloc(cand.id, bytes);
+                if (r.ok) {
+                    dest_addr = r.addr;
+                    dest_heap = heaps_[order[r2]].get();
+                    break;
+                }
+            }
+        }
+    }
+    if (dest_heap == nullptr) {
+        stats.attempts++;
+        stats.noSpace++;
+        return;
+    }
+    auto releaseDest = [&] {
+        std::lock_guard<std::mutex> guard(mutex_);
+        dest_heap->free(dest_addr);
+    };
+
+    // Phase 2: mark. Failure means an accessor (or the free path) beat
+    // us between the load and the CAS.
+    stats.attempts++;
+    if (!entry.ptr.compare_exchange_strong(old_ptr,
+                                           reloc::marked(old_ptr),
+                                           std::memory_order_seq_cst)) {
+        releaseDest();
+        stats.aborted++;
+        return;
+    }
+    auto abortUnmark = [&] {
+        void *expected = reloc::marked(old_ptr);
+        entry.ptr.compare_exchange_strong(expected, old_ptr,
+                                          std::memory_order_seq_cst);
+    };
+
+    // Pinned objects cannot move: a pin taken before our mark holds a
+    // raw pointer we must not invalidate; one taken after will clear
+    // the mark and fail the commit CAS anyway.
+    if (entry.state.load(std::memory_order_seq_cst) >>
+        HandleTableEntry::pinCountShift) {
+        abortUnmark();
+        releaseDest();
+        stats.aborted++;
+        stats.pinnedSkips++;
+        return;
+    }
+
+    // Phase 3: speculative copy while mutators may still read (and
+    // abort us by writing through) the old location.
+    space_.copy(dest_addr, cand.addr, bytes);
+
+    // Phase 4: commit. An accessor, hfree, or hrealloc that intervened
+    // has replaced the marked pointer, and this CAS fails.
+    void *expected = reloc::marked(old_ptr);
+    if (entry.ptr.compare_exchange_strong(
+            expected, reinterpret_cast<void *>(dest_addr),
+            std::memory_order_acq_rel)) {
+        std::lock_guard<std::mutex> guard(mutex_);
+        SubHeap &src = *heaps_[cand.heapIdx];
+        const int src_idx = src.findBlock(cand.addr);
+        ALASKA_ASSERT(src_idx >= 0 &&
+                          src.blocks()[src_idx].handleId == cand.id,
+                      "committed source block vanished");
+        src.freeBlockAt(src_idx);
+        stats.committed++;
+        stats.movedObjects++;
+        stats.movedBytes += bytes;
+        budget -= std::min(budget, bytes);
+    } else {
+        releaseDest();
+        stats.aborted++;
+    }
 }
 
 } // namespace alaska::anchorage

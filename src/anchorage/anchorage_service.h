@@ -6,11 +6,19 @@
  * downward/elsewhere, updates their handle table entries (O(1) per
  * object), trims the freed tails, and returns them to the kernel with
  * MADV_DONTNEED.
+ *
+ * Two execution models share that move loop's placement policy:
+ * defrag() stops the world (paper §4.3), while relocateCampaign()
+ * moves the same candidates concurrently with running mutators using
+ * the speculative mark/copy/CAS protocol of paper §7 — see
+ * services/concurrent_reloc_daemon.h for the background-thread
+ * packaging and anchorage/control.h for the mode knob.
  */
 
 #ifndef ALASKA_ANCHORAGE_ANCHORAGE_SERVICE_H
 #define ALASKA_ANCHORAGE_ANCHORAGE_SERVICE_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -39,7 +47,12 @@ struct AnchorageConfig
     double modelPauseFloor = 200e-6;
 };
 
-/** Outcome of one (possibly partial) defragmentation pass. */
+/**
+ * Outcome of one defragmentation action — a stop-the-world pass, a
+ * concurrent relocation campaign, or an accumulation of both. One
+ * struct serves both modes so the controller budgets them uniformly;
+ * the attempt/abort counters are zero for pure STW passes.
+ */
 struct DefragStats
 {
     size_t movedObjects = 0;
@@ -52,6 +65,43 @@ struct DefragStats
     double measuredSec = 0;
     /** Modeled duration (bandwidth model), for virtual-clock runs. */
     double modeledSec = 0;
+
+    // --- concurrent-campaign counters (paper §7) -----------------------
+    /** Objects the campaign tried to move (marked, or tried to mark). */
+    uint64_t attempts = 0;
+    /** Moves that committed. */
+    uint64_t committed = 0;
+    /** Moves aborted by accessor interference (mark cleared, pinned,
+     *  freed under the mover). pinnedSkips counts the pinned subset. */
+    uint64_t aborted = 0;
+    /** Moves abandoned for lack of a strictly better destination. */
+    uint64_t noSpace = 0;
+
+    /** Fraction of attempts that accessors aborted; 0 if none tried. */
+    double
+    abortRate() const
+    {
+        return attempts == 0
+                   ? 0.0
+                   : static_cast<double>(aborted) /
+                         static_cast<double>(attempts);
+    }
+
+    /** Fold another action's outcome into this one. */
+    void
+    accumulate(const DefragStats &other)
+    {
+        movedObjects += other.movedObjects;
+        movedBytes += other.movedBytes;
+        reclaimedBytes += other.reclaimedBytes;
+        pinnedSkips += other.pinnedSkips;
+        measuredSec += other.measuredSec;
+        modeledSec += other.modeledSec;
+        attempts += other.attempts;
+        committed += other.committed;
+        aborted += other.aborted;
+        noSpace += other.noSpace;
+    }
 };
 
 /** The defragmenting allocator service. */
@@ -93,6 +143,22 @@ class AnchorageService : public Service
     /** Full defragmentation: repeat passes until no progress. */
     DefragStats defragFully();
 
+    /**
+     * One concurrent relocation campaign (paper §7): move up to
+     * max_bytes of objects from sparse sub-heaps to strictly better
+     * locations using the mark/copy/CAS protocol — no barrier, no
+     * stopped world. Mutators must translate through the mark-aware
+     * scoped path (services/concurrent_reloc.h) while campaigns can
+     * run; each object an accessor touches mid-move is aborted and
+     * retried in a later campaign. At most one campaign runs at a time;
+     * a second caller returns an empty result immediately.
+     *
+     * Calls from a runtime-registered thread poll safepoints between
+     * objects, so Hybrid-mode barriers never wait on more than one
+     * in-flight object move.
+     */
+    DefragStats relocateCampaign(size_t max_bytes);
+
     /** RSS attributable to the heap (via the address space's pages). */
     size_t rss() const { return space_.rss(); }
 
@@ -100,8 +166,29 @@ class AnchorageService : public Service
     size_t subHeapCount() const;
 
   private:
+    /** One relocation candidate snapshotted by a campaign. */
+    struct Candidate
+    {
+        uint32_t id;
+        uint64_t addr;
+        uint32_t size;
+        /** Index into heaps_ of the source sub-heap. */
+        size_t heapIdx;
+        /** Rank of the source in the campaign's occupancy order. */
+        size_t rank;
+    };
+
     /** The in-barrier move loop. Caller holds the world stopped. */
     DefragStats movePass(const PinnedSet &pinned, size_t max_bytes);
+
+    /**
+     * Try to move one snapshotted candidate concurrently. Updates stats
+     * and budget; returns silently on stale candidates.
+     */
+    void moveOneConcurrent(const Candidate &cand,
+                           const std::vector<size_t> &order,
+                           SubHeap::CompactionIndex &index,
+                           DefragStats &stats, size_t &budget);
 
     /** Find the sub-heap containing addr; nullptr if none. */
     SubHeap *heapOf(uint64_t addr);
@@ -120,6 +207,8 @@ class AnchorageService : public Service
     std::vector<std::unique_ptr<SubHeap>> heaps_;
     /** Index of the sub-heap used for fresh allocations. */
     size_t cursor_ = 0;
+    /** Guards the single-mover invariant for campaigns. */
+    std::atomic<bool> campaignActive_{false};
 };
 
 } // namespace alaska::anchorage

@@ -37,14 +37,40 @@ DefragController::runPass()
     ControlAction action;
     action.defragged = true;
 
-    // alpha limits the fraction of the heap moved in a single pause.
+    // alpha limits the fraction of the heap moved in one pass — a pause
+    // bound in StopTheWorld mode, a campaign budget otherwise.
     const auto budget = static_cast<size_t>(
         params_.alpha * static_cast<double>(service_.heapExtent()));
-    action.stats = service_.defrag(budget > 0 ? budget : 1);
+    const size_t pass_budget = budget > 0 ? budget : 1;
 
-    action.pauseSec = params_.useModeledTime ? action.stats.modeledSec
-                                             : action.stats.measuredSec;
-    totalDefragSec_ += action.pauseSec;
+    auto chargeOf = [&](const DefragStats &s) {
+        return params_.useModeledTime ? s.modeledSec : s.measuredSec;
+    };
+
+    if (params_.mode == DefragMode::StopTheWorld) {
+        action.stats = service_.defrag(pass_budget);
+        action.pauseSec = chargeOf(action.stats);
+        action.costSec = action.pauseSec;
+    } else {
+        action.stats = service_.relocateCampaign(pass_budget);
+        action.costSec = chargeOf(action.stats);
+        // Abort-rate feedback (Hybrid): when accessors abort most of a
+        // campaign, the hot remainder is cheaper to move inside one
+        // short barrier than to retry concurrently forever.
+        if (params_.mode == DefragMode::Hybrid &&
+            action.stats.attempts >= params_.abortFallbackMinAttempts &&
+            action.stats.abortRate() > params_.abortFallbackRate) {
+            const DefragStats stw = service_.defrag(pass_budget);
+            action.pauseSec = chargeOf(stw);
+            action.costSec += action.pauseSec;
+            action.stats.accumulate(stw);
+            action.fellBack = true;
+            fallbacks_++;
+        }
+    }
+
+    totalDefragSec_ += action.costSec;
+    totalPauseSec_ += action.pauseSec;
     passes_++;
 
     const bool no_progress = action.stats.movedBytes == 0 &&
@@ -54,10 +80,14 @@ DefragController::runPass()
         // Goal reached or out of opportunities: observe efficiently.
         state_ = State::Waiting;
         nextWake_ = now + params_.pollInterval;
-    } else {
+    } else if (action.costSec > 0) {
         // Overhead control: sleeping T_defrag / O_ub bounds the duty
         // cycle at O_ub (paper: "going to sleep for T = Tdefrag/Oub").
-        nextWake_ = now + action.pauseSec / params_.oUb;
+        nextWake_ = now + action.costSec / params_.oUb;
+    } else {
+        // A modeled campaign that moved nothing has zero charge; poll
+        // rather than spinning on a zero-length sleep.
+        nextWake_ = now + params_.pollInterval;
     }
     return action;
 }

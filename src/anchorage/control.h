@@ -29,6 +29,20 @@
 namespace alaska::anchorage
 {
 
+/** How the controller reclaims fragmentation (paper §4.3 vs §7). */
+enum class DefragMode
+{
+    /** Classic Anchorage: every pass runs inside a barrier. */
+    StopTheWorld,
+    /** Concurrent relocation campaigns only; the world never stops. */
+    Concurrent,
+    /**
+     * Concurrent campaigns first; if accessor aborts eat too much of a
+     * campaign, a short stop-the-world pass finishes the hot remainder.
+     */
+    Hybrid,
+};
+
 /** Operator-tunable control parameters. */
 struct ControlParams
 {
@@ -47,6 +61,16 @@ struct ControlParams
      * time (required for virtual-clock experiments).
      */
     bool useModeledTime = false;
+    /** Pass scheduling mode. */
+    DefragMode mode = DefragMode::StopTheWorld;
+    /**
+     * Hybrid only: abort-rate feedback. When a campaign's abortRate()
+     * exceeds this and it saw at least abortFallbackMinAttempts, the
+     * accessors are contending too hard for concurrent progress and the
+     * tick appends one stop-the-world pass over the remainder.
+     */
+    double abortFallbackRate = 0.5;
+    uint64_t abortFallbackMinAttempts = 32;
 };
 
 /** What a controller tick did. */
@@ -54,10 +78,21 @@ struct ControlAction
 {
     /** True if a defrag pass ran on this tick. */
     bool defragged = false;
-    /** Stats of the pass, if any. */
+    /** Stats of the pass (campaign + fallback folded together). */
     DefragStats stats;
-    /** The pause duration charged for the pass (model or measured). */
+    /**
+     * The mutator-visible stop-the-world time of this tick (model or
+     * measured). Zero for purely concurrent campaigns.
+     */
     double pauseSec = 0;
+    /**
+     * Total defrag work time charged against the overhead budget —
+     * equals pauseSec in StopTheWorld mode, campaign (+ fallback) time
+     * otherwise.
+     */
+    double costSec = 0;
+    /** True if a Hybrid tick fell back to a stop-the-world pass. */
+    bool fellBack = false;
 };
 
 /** The two-state hysteresis controller. */
@@ -87,8 +122,12 @@ class DefragController
 
     /** Total time charged to defragmentation so far, seconds. */
     double totalDefragSec() const { return totalDefragSec_; }
+    /** Total mutator-visible stop-the-world time so far, seconds. */
+    double totalPauseSec() const { return totalPauseSec_; }
     /** Number of passes run. */
     size_t passes() const { return passes_; }
+    /** Number of Hybrid ticks that fell back to a barrier. */
+    size_t fallbacks() const { return fallbacks_; }
 
   private:
     ControlAction runPass();
@@ -99,7 +138,9 @@ class DefragController
     State state_ = State::Waiting;
     double nextWake_ = 0;
     double totalDefragSec_ = 0;
+    double totalPauseSec_ = 0;
     size_t passes_ = 0;
+    size_t fallbacks_ = 0;
 };
 
 } // namespace alaska::anchorage

@@ -42,6 +42,15 @@ SubHeap::classOf(size_t size)
 SubHeapAlloc
 SubHeap::alloc(uint32_t id, size_t size)
 {
+    const SubHeapAlloc reused = allocFromFreeList(id, size);
+    if (reused.ok)
+        return reused;
+    return bumpAlloc(id, alignUp(size, alignment));
+}
+
+SubHeapAlloc
+SubHeap::allocFromFreeList(uint32_t id, size_t size)
+{
     const size_t need = alignUp(size, alignment);
     const int cls = classOf(need);
 
@@ -52,7 +61,7 @@ SubHeap::alloc(uint32_t id, size_t size)
         const uint32_t idx = list.back();
         Block &blk = blocks_[idx];
         // A same-class block can still be smaller than the request
-        // (classes span [2^k, 2^(k+1))); bump instead in that case.
+        // (classes span [2^k, 2^(k+1))); the caller bumps in that case.
         if (blk.size >= need) {
             list.pop_back();
             blk.handleId = id;
@@ -63,7 +72,7 @@ SubHeap::alloc(uint32_t id, size_t size)
             return {true, blk.addr};
         }
     }
-    return bumpAlloc(id, need);
+    return {false, 0};
 }
 
 SubHeapAlloc
@@ -183,6 +192,12 @@ SubHeap::popLowestFreeBelow(CompactionIndex &index, size_t size,
     auto &cursor = index.cursor[cls];
     while (cursor < list.size()) {
         const uint32_t idx = list[cursor];
+        if (idx >= blocks_.size()) {
+            // Snapshot index outlived a trim (a Hybrid-mode barrier ran
+            // between a concurrent campaign's moves): the block is gone.
+            cursor++;
+            continue;
+        }
         const Block &blk = blocks_[idx];
         if (!blk.isFree() || blk.size < need) {
             cursor++; // reused meanwhile, or a smaller same-class block

@@ -69,6 +69,15 @@ class SubHeap
      */
     SubHeapAlloc alloc(uint32_t id, size_t size);
 
+    /**
+     * Like alloc() but reuses an existing hole only — never bumps.
+     * Concurrent relocation campaigns use this for cross-heap
+     * destinations so that a campaign can reduce but never grow the
+     * heap's extent (stop-the-world passes may bump because their trims
+     * run with the world stopped and win the space right back).
+     */
+    SubHeapAlloc allocFromFreeList(uint32_t id, size_t size);
+
     /** Free the block at addr (must be a live block of this heap). */
     void free(uint64_t addr);
 
@@ -129,6 +138,8 @@ class SubHeap
      * Address-sorted snapshot of the free blocks, consumed cursor-wise
      * by a top-down defrag walk (whose limit only decreases). Lets a
      * whole pass run in O(F log F) instead of O(F) per moved object.
+     * Entries are validated on pop, so the snapshot may outlive
+     * mutator allocations (concurrent campaigns) and even trims.
      */
     struct CompactionIndex
     {

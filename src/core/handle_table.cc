@@ -153,8 +153,11 @@ HandleTable::activate(uint32_t id)
     ALASKA_ASSERT(id < capacity_, "id %u out of range", id);
     auto &e = table_[id];
     ALASKA_ASSERT(!e.allocated(), "activate of live handle %u", id);
-    e.state.store(HandleTableEntry::Allocated, std::memory_order_relaxed);
-    live_.fetch_add(1, std::memory_order_relaxed);
+    // fetch_or, not store: scoped concurrent pins may already be
+    // counted in the state word (see deactivate).
+    e.state.fetch_or(HandleTableEntry::Allocated,
+                     std::memory_order_relaxed);
+    homeShard().liveDelta.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -165,8 +168,13 @@ HandleTable::deactivate(uint32_t id)
     ALASKA_ASSERT(e.allocated(), "double free of handle %u", id);
     e.ptr.store(nullptr, std::memory_order_relaxed);
     e.size = 0;
-    e.state.store(0, std::memory_order_relaxed);
-    live_.fetch_sub(1, std::memory_order_relaxed);
+    // Clear only the flag bits: a racing accessor may hold a scoped
+    // concurrent pin on this entry and will unpin (fetch_sub) after we
+    // ran — wiping the whole word would make that unpin underflow.
+    e.state.fetch_and(~(HandleTableEntry::Allocated |
+                        HandleTableEntry::Invalid),
+                      std::memory_order_relaxed);
+    homeShard().liveDelta.fetch_sub(1, std::memory_order_relaxed);
 }
 
 HandleTableEntry &
@@ -192,7 +200,10 @@ HandleTable::watermark() const
 uint32_t
 HandleTable::liveCount() const
 {
-    return live_.load(std::memory_order_relaxed);
+    int64_t total = 0;
+    for (const Shard &shard : shards_)
+        total += shard.liveDelta.load(std::memory_order_relaxed);
+    return total < 0 ? 0 : static_cast<uint32_t>(total);
 }
 
 } // namespace alaska

@@ -12,6 +12,9 @@
  * unchanged. On top of the shards, reserveBatch()/unreserveBatch() let
  * per-thread magazines (see ThreadState) move IDs in and out in bulk,
  * so the steady-state allocate/release path touches no shared state.
+ * Live-entry accounting is likewise sharded: each thread bumps a
+ * per-shard delta and liveCount() sums them, keeping the hot path off
+ * any single contended cache line.
  */
 
 #ifndef ALASKA_CORE_HANDLE_TABLE_H
@@ -83,6 +86,41 @@ static_assert(sizeof(HandleTableEntry) == 16,
               "HTE should stay one load wide plus metadata");
 
 /**
+ * The concurrent-relocation mark (paper §7): a mover tags the low bit
+ * of an entry's backing pointer while it speculatively copies the
+ * object (objects are 16-byte aligned, so the bit is free). Accessors
+ * and the free path clear the mark to abort the in-flight move. The
+ * helpers live here so the runtime's hfree/hrealloc, the low-level
+ * relocation protocol, and Anchorage campaigns agree on the encoding.
+ */
+namespace reloc
+{
+
+inline constexpr uint64_t markBit = 1;
+
+inline void *
+marked(void *ptr)
+{
+    return reinterpret_cast<void *>(reinterpret_cast<uint64_t>(ptr) |
+                                    markBit);
+}
+
+inline void *
+unmarked(void *ptr)
+{
+    return reinterpret_cast<void *>(reinterpret_cast<uint64_t>(ptr) &
+                                    ~markBit);
+}
+
+inline bool
+isMarked(const void *ptr)
+{
+    return reinterpret_cast<uint64_t>(ptr) & markBit;
+}
+
+} // namespace reloc
+
+/**
  * The single-level handle table.
  *
  * Thread safety: allocate()/release() and the batch reservation API may
@@ -142,6 +180,9 @@ class HandleTable
     /**
      * Clear a live entry back to the reserved state *without* putting it
      * on any free list — the caller keeps the ID (in its magazine).
+     * Any atomic pin count in the entry's state survives: a concurrent
+     * accessor that pinned the entry must be able to unpin it after the
+     * free without corrupting the state word.
      */
     void deactivate(uint32_t id);
 
@@ -161,7 +202,11 @@ class HandleTable
      */
     uint32_t watermark() const;
 
-    /** Number of currently live (allocated) entries. */
+    /**
+     * Number of currently live (allocated) entries. Summed over the
+     * per-shard deltas, so concurrent callers may observe a transiently
+     * stale value; quiescent reads are exact.
+     */
     uint32_t liveCount() const;
 
   private:
@@ -173,6 +218,14 @@ class HandleTable
     {
         std::mutex mutex;
         std::vector<uint32_t> freeList;
+        /**
+         * This shard's contribution to liveCount(). Each thread bumps
+         * its home shard's delta, so the magazine fast path never RMWs
+         * a shared counter; individual deltas may go negative (a handle
+         * can be activated on one shard and deactivated on another) but
+         * the sum is exact.
+         */
+        std::atomic<int64_t> liveDelta{0};
     };
 
     /** The calling thread's home shard (round-robin assigned). */
@@ -187,7 +240,6 @@ class HandleTable
     HandleTableEntry *table_ = nullptr;
     uint32_t capacity_ = 0;
     std::atomic<uint32_t> bump_{0};
-    std::atomic<uint32_t> live_{0};
     Shard shards_[numShards];
 };
 

@@ -1,7 +1,10 @@
 #include "core/runtime.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+#include <utility>
 
 #include "base/logging.h"
 
@@ -11,6 +14,7 @@ namespace alaska
 HandleTableEntry *Runtime::gTableBase = nullptr;
 std::atomic<bool> Runtime::gBarrierPending{false};
 Runtime *Runtime::gRuntime = nullptr;
+std::atomic<uint32_t> Runtime::gConcurrentRelocCampaigns{0};
 
 namespace
 {
@@ -159,7 +163,15 @@ Runtime::hrealloc(void *handle, size_t size)
     const uint32_t id = handleId(v);
     auto &e = table_.entry(id);
     ALASKA_ASSERT(e.allocated(), "hrealloc of freed handle %u", id);
-    void *old_ptr = e.ptr.load(std::memory_order_acquire);
+    // Claim the backing pointer atomically, like hfree: a clear-the-mark
+    // loop would only handle a relocation already in flight, while a
+    // mover that marks *after* our load could still commit and free the
+    // old block under us (double free + copy from freed memory). With
+    // the exchange the entry briefly holds nullptr; a mover validating
+    // its candidate skips it, and its commit CAS cannot succeed.
+    void *old_ptr =
+        reloc::unmarked(e.ptr.exchange(nullptr,
+                                       std::memory_order_seq_cst));
     const size_t old_size = e.size;
 
     void *new_ptr = service().alloc(id, size);
@@ -190,8 +202,14 @@ Runtime::hfree(void *handle)
     const uint32_t id = handleId(v);
     auto &e = table_.entry(id);
     ALASKA_ASSERT(e.allocated(), "double hfree of handle %u", id);
-    void *ptr = e.ptr.load(std::memory_order_acquire);
-    service().free(id, ptr);
+    // Claim the backing pointer atomically. A plain load would race a
+    // concurrent relocator: between the load and the service free the
+    // mover could commit and free the old block itself (double free).
+    // The exchange takes ownership — if the entry was mid-relocation
+    // (mark bit set) the mover's commit CAS now fails and it discards
+    // its copy, so freeing the unmarked pointer here is the only free.
+    void *ptr = e.ptr.exchange(nullptr, std::memory_order_acq_rel);
+    service().free(id, reloc::unmarked(ptr));
     releaseHandleId(id);
     nHfrees_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -268,6 +286,49 @@ Runtime::currentThreadState()
     return *tlsState;
 }
 
+ThreadState *
+Runtime::currentThreadStateOrNull()
+{
+    return tlsState;
+}
+
+void
+Runtime::quiesceConcurrentAccessors()
+{
+    // Snapshot every thread caught mid-scope (odd accessSeq), then wait
+    // for each to advance. A scope that begins after the snapshot saw
+    // the campaign flag (its ctor reads the flag after incrementing the
+    // seq, both seq_cst) and pins its translations, so only the
+    // snapshotted phases need draining.
+    std::vector<std::pair<const ThreadState *, uint64_t>> busy;
+    {
+        std::lock_guard<std::mutex> guard(threadMutex_);
+        for (const auto &thread : threads_) {
+            const uint64_t seq =
+                thread->accessSeq.load(std::memory_order_seq_cst);
+            if (seq & 1)
+                busy.emplace_back(thread.get(), seq);
+        }
+    }
+    while (!busy.empty()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+        std::lock_guard<std::mutex> guard(threadMutex_);
+        for (size_t i = busy.size(); i-- > 0;) {
+            bool still_busy = false;
+            for (const auto &thread : threads_) {
+                if (thread.get() == busy[i].first) {
+                    still_busy =
+                        thread->accessSeq.load(
+                            std::memory_order_seq_cst) == busy[i].second;
+                    break;
+                }
+            }
+            if (!still_busy)
+                busy.erase(busy.begin() + static_cast<long>(i));
+        }
+    }
+}
+
 size_t
 Runtime::threadCount() const
 {
@@ -321,12 +382,16 @@ Runtime::unifyPinSets()
             }
         }
     }
-    if (config_.pinMode == PinMode::AtomicPins) {
-        const uint32_t wm = table_.watermark();
-        for (uint32_t id = 0; id < wm; id++) {
-            if (table_.entry(id).atomicPinCount() > 0)
-                pinned.add(id);
-        }
+    // Atomic pin counts are honored in every mode, not just the
+    // AtomicPins ablation: ConcurrentPin and scoped concurrent
+    // translation pin through the HTE state word, and a Hybrid-mode
+    // stop-the-world pass must not move objects those accessors still
+    // reference. The scan is one relaxed load per watermark entry,
+    // inside an already stopped world.
+    const uint32_t wm = table_.watermark();
+    for (uint32_t id = 0; id < wm; id++) {
+        if (table_.entry(id).atomicPinCount() > 0)
+            pinned.add(id);
     }
     return pinned;
 }

@@ -200,6 +200,36 @@ class Runtime
     /** The calling thread's state; thread must be registered. */
     ThreadState &currentThreadState();
 
+    /** The calling thread's state, or nullptr if unregistered. */
+    ThreadState *currentThreadStateOrNull();
+
+    // --- concurrent relocation (§7) ---------------------------------------
+    /**
+     * True while any concurrent-relocation campaign is in flight.
+     * Mutator translation must go through the mark-aware path (see
+     * services/concurrent_reloc.h) while this holds; checking the flag
+     * is a single uncontended atomic load when no campaign runs. The
+     * seq_cst order pairs with the accessSeq increment in
+     * ConcurrentAccessScope (see ThreadState::accessSeq).
+     */
+    static bool
+    concurrentRelocActive()
+    {
+        return gConcurrentRelocCampaigns.load(std::memory_order_seq_cst) !=
+               0;
+    }
+
+    /**
+     * Wait (without stopping anything) until every registered thread
+     * has left the ConcurrentAccessScope it was in, if any. A campaign
+     * calls this after raising the active flag: scopes that began
+     * before the flag was visible translate unpinned, so the mover must
+     * let them drain before marking its first object. Scopes are one
+     * application operation long, so the wait is short and mutators
+     * never block.
+     */
+    void quiesceConcurrentAccessors();
+
     /** Pin mode (see PinMode). */
     PinMode pinMode() const { return config_.pinMode; }
 
@@ -221,6 +251,8 @@ class Runtime
     static HandleTableEntry *gTableBase;
     static std::atomic<bool> gBarrierPending;
     static Runtime *gRuntime;
+    /** Count of in-flight concurrent-relocation campaigns. */
+    static std::atomic<uint32_t> gConcurrentRelocCampaigns;
 
   private:
     friend class ThreadRegistration;

@@ -74,6 +74,15 @@ struct ThreadState
     std::vector<PinFrameRecord> frames;
     /** Cached handle IDs for lock-free allocate/release fast paths. */
     HandleMagazine magazine;
+    /**
+     * Seqlock-style concurrent-access phase: odd while the thread is
+     * inside a ConcurrentAccessScope, even when quiescent. A relocation
+     * campaign raises the global active flag and then waits for every
+     * odd phase to end (Runtime::quiesceConcurrentAccessors), so any
+     * scope that began before the flag was visible has drained before
+     * the first object is marked. Owner-incremented only.
+     */
+    std::atomic<uint64_t> accessSeq{0};
     /** Statistics: how many times this thread parked in a barrier. */
     uint64_t parks = 0;
 

@@ -29,6 +29,7 @@
 #include "alloc_sim/alloc_model.h"
 #include "core/runtime.h"
 #include "core/translate.h"
+#include "services/concurrent_reloc.h"
 
 namespace alaska::kv
 {
@@ -76,6 +77,43 @@ class AlaskaAlloc
     deref(T *ptr)
     {
         return static_cast<T *>(translate(ptr));
+    }
+
+    /** Anchorage needs no application cooperation to defragment. */
+    bool shouldMove(const void *) const { return false; }
+
+    Runtime &runtime() { return runtime_; }
+
+  private:
+    Runtime &runtime_;
+};
+
+/**
+ * Handle-based and safe against the background relocator: deref goes
+ * through the scoped mark-aware translation, which is the plain
+ * one-load translate while no campaign runs and a pin+abort-protocol
+ * translation while one does. Callers must bracket each KV operation
+ * in a ConcurrentAccessScope (the multi-threaded YCSB driver and the
+ * contention tests do); every pointer deref'd inside the scope stays
+ * valid until the scope closes.
+ */
+class AlaskaConcurrentAlloc
+{
+  public:
+    static constexpr bool handleBased = true;
+
+    explicit AlaskaConcurrentAlloc(Runtime &runtime) : runtime_(runtime)
+    {
+    }
+
+    void *alloc(size_t size) { return runtime_.halloc(size); }
+    void free(void *ptr) { runtime_.hfree(ptr); }
+
+    template <typename T>
+    static T *
+    deref(T *ptr)
+    {
+        return static_cast<T *>(translateScoped(ptr));
     }
 
     /** Anchorage needs no application cooperation to defragment. */

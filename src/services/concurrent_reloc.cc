@@ -1,39 +1,13 @@
 #include "services/concurrent_reloc.h"
 
 #include <cstring>
+#include <vector>
 
 #include "base/logging.h"
 #include "core/handle.h"
 
 namespace alaska
 {
-
-namespace
-{
-
-constexpr uint64_t relocMark = 1;
-
-void *
-marked(void *ptr)
-{
-    return reinterpret_cast<void *>(reinterpret_cast<uint64_t>(ptr) |
-                                    relocMark);
-}
-
-void *
-unmarked(void *ptr)
-{
-    return reinterpret_cast<void *>(reinterpret_cast<uint64_t>(ptr) &
-                                    ~relocMark);
-}
-
-bool
-isMarked(const void *ptr)
-{
-    return reinterpret_cast<uint64_t>(ptr) & relocMark;
-}
-
-} // anonymous namespace
 
 bool
 tryRelocateConcurrent(Runtime &runtime, uint32_t id)
@@ -44,9 +18,9 @@ tryRelocateConcurrent(Runtime &runtime, uint32_t id)
 
     // Phase 1: mark. Fails if someone else is relocating this object.
     void *old_ptr = entry.ptr.load(std::memory_order_acquire);
-    if (isMarked(old_ptr))
+    if (reloc::isMarked(old_ptr) || old_ptr == nullptr)
         return false;
-    if (!entry.ptr.compare_exchange_strong(old_ptr, marked(old_ptr),
+    if (!entry.ptr.compare_exchange_strong(old_ptr, reloc::marked(old_ptr),
                                            std::memory_order_seq_cst)) {
         return false;
     }
@@ -56,7 +30,7 @@ tryRelocateConcurrent(Runtime &runtime, uint32_t id)
     // pin *after* the mark will clear it and fail our commit CAS.
     if (entry.state.load(std::memory_order_seq_cst) >>
         HandleTableEntry::pinCountShift) {
-        void *expected = marked(old_ptr);
+        void *expected = reloc::marked(old_ptr);
         entry.ptr.compare_exchange_strong(expected, old_ptr,
                                           std::memory_order_seq_cst);
         return false;
@@ -68,7 +42,7 @@ tryRelocateConcurrent(Runtime &runtime, uint32_t id)
 
     // Phase 3: commit. An accessor that faulted meanwhile has cleared
     // the mark, and this CAS fails — the relocation is aborted.
-    void *expected = marked(old_ptr);
+    void *expected = reloc::marked(old_ptr);
     if (entry.ptr.compare_exchange_strong(expected, new_ptr,
                                           std::memory_order_acq_rel)) {
         runtime.service().free(id, old_ptr);
@@ -87,13 +61,19 @@ translateConcurrent(const void *maybe_handle)
     HandleTableEntry &e =
         Runtime::gTableBase[(v >> 32) & (maxHandleId - 1)];
 
-    void *ptr = e.ptr.load(std::memory_order_acquire);
-    while (isMarked(ptr)) {
+    // seq_cst, not acquire: this load must participate in the single
+    // total order with the caller's pin increment and the mover's
+    // mark/pin-check pair (a Dekker handshake across two locations).
+    // With a weaker load, non-TSO hardware could let the pin and the
+    // mark go mutually unseen, and a write through this translation
+    // would land in an abandoned copy.
+    void *ptr = e.ptr.load(std::memory_order_seq_cst);
+    while (reloc::isMarked(ptr)) {
         // Abort the in-flight relocation: clear the mark. Whether our
         // CAS or the mover's commit wins, the loop re-reads a stable
         // pointer.
         void *expected = ptr;
-        e.ptr.compare_exchange_strong(expected, unmarked(ptr),
+        e.ptr.compare_exchange_strong(expected, reloc::unmarked(ptr),
                                       std::memory_order_seq_cst);
         ptr = e.ptr.load(std::memory_order_acquire);
     }
@@ -119,6 +99,74 @@ ConcurrentPin::~ConcurrentPin()
         entry_->state.fetch_sub(HandleTableEntry::pinCountOne,
                                 std::memory_order_seq_cst);
     }
+}
+
+// --- scoped concurrent access ----------------------------------------------
+
+namespace creloc_detail
+{
+
+thread_local bool tlsScopePinning = false;
+
+namespace
+{
+/** Nesting depth of ConcurrentAccessScope on this thread. */
+thread_local uint32_t tlsScopeDepth = 0;
+/** Entries pinned by translateScoped() inside the current scope. */
+thread_local std::vector<HandleTableEntry *> tlsPinLog;
+} // anonymous namespace
+
+void *
+pinScopedAndTranslate(const void *maybe_handle)
+{
+    const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
+    if (isHandle(v)) {
+        HandleTableEntry *entry =
+            &Runtime::gRuntime->table().entry(handleId(v));
+        entry->state.fetch_add(HandleTableEntry::pinCountOne,
+                               std::memory_order_seq_cst);
+        tlsPinLog.push_back(entry);
+    }
+    return translateConcurrent(maybe_handle);
+}
+
+} // namespace creloc_detail
+
+ConcurrentAccessScope::ConcurrentAccessScope()
+{
+    using creloc_detail::tlsScopeDepth;
+    if (tlsScopeDepth++ > 0)
+        return;
+    outermost_ = true;
+    Runtime *runtime = Runtime::gRuntime;
+    state_ = runtime ? runtime->currentThreadStateOrNull() : nullptr;
+    // Publish "in scope" (odd phase) *before* sampling the campaign
+    // flag, both seq_cst: either the mover's flag store is visible here
+    // (we pin), or our odd phase is visible to the mover's quiescence
+    // wait (it drains us before marking anything).
+    if (state_)
+        state_->accessSeq.fetch_add(1, std::memory_order_seq_cst);
+    creloc_detail::tlsScopePinning = Runtime::concurrentRelocActive();
+}
+
+ConcurrentAccessScope::~ConcurrentAccessScope()
+{
+    using creloc_detail::tlsScopeDepth;
+    if (!outermost_) {
+        tlsScopeDepth--;
+        return;
+    }
+    for (HandleTableEntry *entry : creloc_detail::tlsPinLog) {
+        const uint32_t old = entry->state.fetch_sub(
+            HandleTableEntry::pinCountOne, std::memory_order_seq_cst);
+        ALASKA_ASSERT((old >> HandleTableEntry::pinCountShift) > 0,
+                      "scoped unpin underflow");
+    }
+    creloc_detail::tlsPinLog.clear();
+    creloc_detail::tlsScopePinning = false;
+    if (state_)
+        state_->accessSeq.fetch_add(1, std::memory_order_seq_cst);
+    tlsScopeDepth--;
 }
 
 } // namespace alaska

@@ -15,9 +15,19 @@
  *      publishes the move and the old memory is freed; failure means
  *      an accessor intervened, so the copy is discarded.
  *
- * Accessors must use translateConcurrent() while a relocator is active;
+ * Accessors must use the mark-aware paths while a relocator is active;
  * writes through stale translations are excluded by the abort protocol,
- * not by pausing threads.
+ * not by pausing threads. Two accessor APIs exist:
+ *
+ *  - ConcurrentPin: RAII pin + translate for a single access. Always
+ *    safe, pays one atomic RMW pair per access.
+ *  - ConcurrentAccessScope + translateScoped(): scope one application
+ *    operation; inside it, translations pin only while a campaign is
+ *    actually in flight (Runtime::concurrentRelocActive()), and all
+ *    pins drop at scope end. When no campaign runs, translateScoped()
+ *    is a thread-local flag test in front of the ordinary one-load
+ *    translate() — this is the path AnchorageService::relocateCampaign
+ *    expects mutators to be on.
  */
 
 #ifndef ALASKA_SERVICES_CONCURRENT_RELOC_H
@@ -26,21 +36,17 @@
 #include <cstdint>
 
 #include "core/runtime.h"
+#include "core/translate.h"
 
 namespace alaska
 {
 
-/** Statistics for a relocation campaign. */
-struct RelocStats
-{
-    uint64_t attempts = 0;
-    uint64_t committed = 0;
-    uint64_t aborted = 0;
-};
-
 /**
  * Try to relocate one object concurrently with running mutators.
  * Backing memory is allocated/freed through the runtime's service.
+ * This is the low-level protocol; Anchorage campaigns implement the
+ * same state machine with placement-aware destinations
+ * (AnchorageService::relocateCampaign).
  *
  * Aborts if the object is pinned (atomic pin count, see ConcurrentPin)
  * — the paper: "the relocation is aborted ... as some other thread has
@@ -76,6 +82,65 @@ class ConcurrentPin
     HandleTableEntry *entry_ = nullptr;
     void *raw_ = nullptr;
 };
+
+namespace creloc_detail
+{
+
+/**
+ * True while the innermost ConcurrentAccessScope on this thread decided
+ * to pin (i.e. a campaign was active when the scope opened). Read by
+ * the translateScoped() fast path; written only by the scope.
+ */
+extern thread_local bool tlsScopePinning;
+
+/** Slow path: pin the handle into the scope's log, then translate. */
+void *pinScopedAndTranslate(const void *maybe_handle);
+
+} // namespace creloc_detail
+
+/**
+ * Brackets one application operation (e.g. one KV request) on a mutator
+ * thread. On entry the scope publishes the thread as "accessing" (see
+ * ThreadState::accessSeq) and samples the global campaign flag; every
+ * translateScoped() inside the scope then pins iff a campaign was
+ * active. On exit all scoped pins drop. Scopes nest; only the outermost
+ * publishes and releases. Must not span a safepoint poll: pins held at
+ * a barrier would be seen by the stop-the-world pinned-set scan and
+ * block compaction of those objects.
+ *
+ * Registered threads get the full drain protocol (a campaign waits for
+ * in-flight scopes that missed the flag). Unregistered threads still
+ * pin correctly once they see the flag but are invisible to the drain;
+ * mutators racing a relocator should be registered.
+ */
+class ConcurrentAccessScope
+{
+  public:
+    ConcurrentAccessScope();
+    ~ConcurrentAccessScope();
+
+    ConcurrentAccessScope(const ConcurrentAccessScope &) = delete;
+    ConcurrentAccessScope &operator=(const ConcurrentAccessScope &) =
+        delete;
+
+  private:
+    ThreadState *state_ = nullptr;
+    bool outermost_ = false;
+};
+
+/**
+ * The mutator translation path for concurrent-relocation-aware code:
+ * identical to translate() (one thread-local test more) when no
+ * campaign runs, pin+mark-aware when one does. Requires an enclosing
+ * ConcurrentAccessScope on this thread.
+ */
+inline void *
+translateScoped(const void *maybe_handle)
+{
+    if (__builtin_expect(!creloc_detail::tlsScopePinning, 1))
+        return translate(maybe_handle);
+    return creloc_detail::pinScopedAndTranslate(maybe_handle);
+}
 
 } // namespace alaska
 

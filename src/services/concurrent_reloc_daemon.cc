@@ -1,0 +1,142 @@
+#include "services/concurrent_reloc_daemon.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "base/logging.h"
+#include "core/translate.h"
+
+namespace alaska
+{
+
+namespace
+{
+
+/** Longest uninterruptible sleep; bounds stop() latency. */
+constexpr double maxSleepSec = 0.05;
+/** Shortest sleep, so a hot controller cannot spin the CPU. */
+constexpr double minSleepSec = 0.0002;
+
+} // anonymous namespace
+
+ConcurrentRelocDaemon::ConcurrentRelocDaemon(
+    Runtime &runtime, anchorage::AnchorageService &service,
+    anchorage::ControlParams params)
+    : runtime_(runtime), service_(service),
+      controller_(service, clock_, params)
+{
+}
+
+ConcurrentRelocDaemon::~ConcurrentRelocDaemon()
+{
+    stop();
+}
+
+void
+ConcurrentRelocDaemon::start()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    ALASKA_ASSERT(!running_, "daemon already running");
+    stopRequested_ = false;
+    running_ = true;
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+ConcurrentRelocDaemon::stop()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (!running_)
+            return;
+        stopRequested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    std::lock_guard<std::mutex> guard(mutex_);
+    running_ = false;
+}
+
+bool
+ConcurrentRelocDaemon::running() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return running_;
+}
+
+anchorage::DefragStats
+ConcurrentRelocDaemon::totals() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return totals_;
+}
+
+size_t
+ConcurrentRelocDaemon::passes() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return passes_;
+}
+
+size_t
+ConcurrentRelocDaemon::fallbacks() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return fallbacks_;
+}
+
+double
+ConcurrentRelocDaemon::totalDefragSec() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return totalDefragSec_;
+}
+
+double
+ConcurrentRelocDaemon::totalPauseSec() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return totalPauseSec_;
+}
+
+void
+ConcurrentRelocDaemon::run()
+{
+    // Registered so Hybrid/STW barriers started here behave normally
+    // and so campaign loops reach safepoints for barriers started by
+    // anyone else.
+    ThreadRegistration registration(runtime_);
+
+    for (;;) {
+        poll();
+        const anchorage::ControlAction action = controller_.tick();
+        if (action.defragged) {
+            std::lock_guard<std::mutex> guard(mutex_);
+            totals_.accumulate(action.stats);
+            passes_ = controller_.passes();
+            fallbacks_ = controller_.fallbacks();
+            totalDefragSec_ = controller_.totalDefragSec();
+            totalPauseSec_ = controller_.totalPauseSec();
+        }
+
+        const double wait = std::clamp(
+            controller_.nextWake() - clock_.now(), minSleepSec,
+            maxSleepSec);
+
+        // Sleep in external mode: a barrier must not wait out our nap.
+        runtime_.enterExternal();
+        bool should_stop;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait_for(lock,
+                         std::chrono::duration<double>(wait),
+                         [this] { return stopRequested_; });
+            should_stop = stopRequested_;
+        }
+        runtime_.leaveExternal();
+        if (should_stop)
+            break;
+    }
+}
+
+} // namespace alaska

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The background concurrent-relocation daemon: Anchorage defrag as a
+ * service thread instead of an in-barrier pass.
+ *
+ * The daemon hosts a DefragController on its own runtime-registered
+ * thread and drives it against the wall clock. In Concurrent mode every
+ * pass the controller schedules is a relocation campaign
+ * (AnchorageService::relocateCampaign): the thread snapshots sparse
+ * sub-heaps, walks candidates top-down, and moves each object with the
+ * mark/copy/CAS protocol of paper §7 — mutators keep running and
+ * implicitly veto any move they race with. In StopTheWorld mode the
+ * same thread triggers classic barrier passes, and Hybrid blends the
+ * two under abort-rate feedback, so one knob (ControlParams::mode)
+ * selects the execution model.
+ *
+ * Between ticks the daemon parks in external mode, so barriers (its
+ * own Hybrid fallbacks included) never wait on its sleep.
+ */
+
+#ifndef ALASKA_SERVICES_CONCURRENT_RELOC_DAEMON_H
+#define ALASKA_SERVICES_CONCURRENT_RELOC_DAEMON_H
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "anchorage/anchorage_service.h"
+#include "anchorage/control.h"
+#include "core/runtime.h"
+#include "sim/clock.h"
+
+namespace alaska
+{
+
+/** The background relocator. */
+class ConcurrentRelocDaemon
+{
+  public:
+    /**
+     * @param runtime the runtime whose heap the daemon defragments
+     * @param service the Anchorage service backing that runtime
+     * @param params  controller tuning; params.mode selects the
+     *                execution model for every scheduled pass
+     */
+    ConcurrentRelocDaemon(Runtime &runtime,
+                          anchorage::AnchorageService &service,
+                          anchorage::ControlParams params = {});
+    ~ConcurrentRelocDaemon();
+
+    ConcurrentRelocDaemon(const ConcurrentRelocDaemon &) = delete;
+    ConcurrentRelocDaemon &operator=(const ConcurrentRelocDaemon &) =
+        delete;
+
+    /** Launch the daemon thread. */
+    void start();
+
+    /** Stop and join the daemon thread; idempotent. */
+    void stop();
+
+    /** True between start() and stop(). */
+    bool running() const;
+
+    /** Folded stats of every action the daemon has run so far. */
+    anchorage::DefragStats totals() const;
+
+    /** Controller passes run so far. */
+    size_t passes() const;
+
+    /** Hybrid ticks that fell back to a stop-the-world pass. */
+    size_t fallbacks() const;
+
+    /** Total defrag work time charged so far, seconds. */
+    double totalDefragSec() const;
+
+    /** Total mutator-visible pause time caused so far, seconds. */
+    double totalPauseSec() const;
+
+  private:
+    void run();
+
+    Runtime &runtime_;
+    anchorage::AnchorageService &service_;
+    RealClock clock_;
+    /** Touched only by the daemon thread once start()ed. */
+    anchorage::DefragController controller_;
+
+    std::thread thread_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopRequested_ = false;
+    bool running_ = false;
+
+    /** Snapshot counters, published by the daemon thread per tick. */
+    anchorage::DefragStats totals_;
+    size_t passes_ = 0;
+    size_t fallbacks_ = 0;
+    double totalDefragSec_ = 0;
+    double totalPauseSec_ = 0;
+};
+
+} // namespace alaska
+
+#endif // ALASKA_SERVICES_CONCURRENT_RELOC_DAEMON_H

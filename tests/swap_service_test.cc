@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "anchorage/anchorage_service.h"
 #include "base/rng.h"
 
 #include "core/malloc_service.h"
@@ -217,7 +218,7 @@ TEST_F(RelocTest, RacingMutatorsNeverSeeTornObjects)
     // before any mutator starts, leaving checks == 0).
     while (checks.load(std::memory_order_relaxed) == 0)
         std::this_thread::yield();
-    RelocStats stats;
+    anchorage::DefragStats stats;
     Rng rng(99);
     for (int i = 0; i < 20000; i++) {
         const uint32_t id = handleId(
@@ -234,6 +235,7 @@ TEST_F(RelocTest, RacingMutatorsNeverSeeTornObjects)
         th.join();
     EXPECT_GT(checks.load(), 0u);
     EXPECT_GT(stats.committed, 0u);
+    EXPECT_EQ(stats.attempts, stats.committed + stats.aborted);
     for (void *h : handles)
         runtime_.hfree(h);
 }
