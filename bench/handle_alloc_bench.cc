@@ -1,7 +1,9 @@
 /**
  * @file
- * Handle allocation throughput at 1–8 threads, comparing three
- * allocator designs over the same handle-table entry layout:
+ * Allocation throughput at 1–8 threads, in two sections.
+ *
+ * Section 1 — handle *ID* allocation, comparing three designs over the
+ * same handle-table entry layout:
  *
  *   single-mutex : the pre-sharding design — one global mutex-protected
  *                  free list plus a bump cursor (the baseline).
@@ -11,10 +13,16 @@
  *                  a per-thread magazine and hit no shared state in
  *                  steady state (Runtime::allocateHandleId).
  *
- * Workload: each thread owns a window of live IDs and repeatedly
- * releases a slot and allocates a replacement, which is the steady
- * state of a mutator under churn. One "op" is one release+allocate
- * pair.
+ * Section 2 — full halloc/hfree over the Anchorage service, comparing
+ * a single-shard configuration (every allocation behind one service
+ * lock, the pre-sharding design) against the sharded service (one
+ * sub-heap chain + lock per shard, thread-affine). This is the
+ * allocation hot path the sharded sub-heap work targets.
+ *
+ * Workload: each thread owns a window of live IDs (or handles) and
+ * repeatedly releases a slot and allocates a replacement, which is the
+ * steady state of a mutator under churn. One "op" is one
+ * release+allocate pair.
  */
 
 #include <cstdio>
@@ -23,11 +31,13 @@
 #include <thread>
 #include <vector>
 
+#include "anchorage/anchorage_service.h"
 #include "base/logging.h"
 #include "base/timer.h"
 #include "core/handle_table.h"
 #include "core/malloc_service.h"
 #include "core/runtime.h"
+#include "sim/address_space.h"
 
 namespace
 {
@@ -162,6 +172,46 @@ benchMagazine(int nThreads)
     });
 }
 
+// --- section 2: halloc/hfree over Anchorage ---------------------------------
+
+constexpr size_t kObjectSize = 256;
+constexpr int kHallocPairsPerThread = 100000;
+
+/** Per-thread halloc/hfree churn over a window of live handles. */
+double
+benchHalloc(int nThreads, size_t shards)
+{
+    alaska::RealAddressSpace space;
+    alaska::anchorage::AnchorageService service(
+        space, alaska::anchorage::AnchorageConfig{.shards = shards});
+    Runtime runtime(RuntimeConfig{.tableCapacity = kTableCapacity});
+    runtime.attachService(&service);
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(nThreads));
+    Stopwatch watch;
+    for (int t = 0; t < nThreads; t++) {
+        threads.emplace_back([&runtime] {
+            ThreadRegistration reg(runtime);
+            void *window[kWindow];
+            for (int i = 0; i < kWindow; i++)
+                window[i] = runtime.halloc(kObjectSize);
+            for (int i = 0; i < kHallocPairsPerThread; i++) {
+                const int slot = i % kWindow;
+                runtime.hfree(window[slot]);
+                window[slot] = runtime.halloc(kObjectSize);
+            }
+            for (int i = 0; i < kWindow; i++)
+                runtime.hfree(window[i]);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    const double sec = watch.elapsedSec();
+    return static_cast<double>(kHallocPairsPerThread) * nThreads / sec /
+           1e6;
+}
+
 } // namespace
 
 int
@@ -180,6 +230,20 @@ main()
         const double magazine = benchMagazine(nThreads);
         std::printf("%-8d %14.2f %14.2f %14.2f %9.2fx\n", nThreads, base,
                     sharded, magazine, magazine / base);
+    }
+
+    std::printf("\n# halloc/hfree throughput over Anchorage "
+                "(M free+alloc pairs per second, %zu B objects)\n",
+                kObjectSize);
+    std::printf("# shards=1 is the pre-sharding single-service-lock "
+                "design; shards=8 is thread-affine sub-heap chains\n\n");
+    std::printf("%-8s %14s %14s %10s\n", "threads", "shards=1",
+                "shards=8", "speedup");
+    for (int nThreads : {1, 2, 4, 8}) {
+        const double single = benchHalloc(nThreads, 1);
+        const double sharded = benchHalloc(nThreads, 8);
+        std::printf("%-8d %14.2f %14.2f %9.2fx\n", nThreads, single,
+                    sharded, sharded / single);
     }
     return 0;
 }

@@ -17,9 +17,12 @@
  *     update latency side by side, the abort/commit ratio, and the
  *     fragmentation recovered by each mode.
  *
- * Flags: --smoke (tiny counts for CI), --threads=N, --records=N,
- * --ops=N (single-thread section), --mrecords=N --mops=N (per-thread,
- * multi-thread section), --single-only, --multi-only.
+ * Flags: --smoke (tiny counts for CI), --threads=N, --shards=N
+ * (Anchorage shard count for the multi-thread section, default 8; a
+ * Concurrent run at shards=1 is always included as the pre-shard
+ * baseline column), --records=N, --ops=N (single-thread section),
+ * --mrecords=N --mops=N (per-thread, multi-thread section),
+ * --single-only, --multi-only.
  */
 
 #include <algorithm>
@@ -182,15 +185,22 @@ struct ModeResult
  * keys while the daemon reclaims the holes.
  */
 ModeResult
-runMode(anchorage::DefragMode mode, int threads,
+runMode(anchorage::DefragMode mode, int threads, size_t shards,
         uint64_t records_per_thread, uint64_t ops_per_thread)
 {
     using Store = MiniKv<AlaskaConcurrentAlloc>;
     ModeResult result;
 
+    // 1 MiB sub-heaps: with N shards the heap holds ~N partially
+    // filled bump segments (one per active chain), and that slack is
+    // extent the controller can never trim. Finer segments keep the
+    // per-shard slack small relative to the live set, so the sharded
+    // configurations can reach the same F_lb floor the single chain
+    // does (docs/TUNING.md, "subHeapBytes").
     RealAddressSpace space;
     anchorage::AnchorageService service(
-        space, anchorage::AnchorageConfig{.subHeapBytes = 4u << 20});
+        space, anchorage::AnchorageConfig{.subHeapBytes = 1u << 20,
+                                          .shards = shards});
     Runtime runtime(RuntimeConfig{.tableCapacity = 1u << 22});
     runtime.attachService(&service);
     AlaskaConcurrentAlloc alloc(runtime);
@@ -224,7 +234,11 @@ runMode(anchorage::DefragMode mode, int threads,
     // modes — the comparison stays fair, and the STW pause totals show
     // what that aggressiveness costs the mutators in each mode).
     params.oUb = 1.0;
-    params.alpha = 0.25;
+    // Full-drain campaigns: at alpha=0.25 a sharded heap needs many
+    // rank+snapshot rounds to finish the same evacuation, and on a
+    // busy host the run can end first. One whole-heap pass per tick
+    // (equally in both modes — the comparison stays fair).
+    params.alpha = 1.0;
     ConcurrentRelocDaemon daemon(runtime, service, params);
     daemon.start();
 
@@ -318,71 +332,100 @@ runMode(anchorage::DefragMode mode, int threads,
 }
 
 void
-runMultiThreadSection(int threads, uint64_t records_per_thread,
+runMultiThreadSection(int threads, size_t shards,
+                      uint64_t records_per_thread,
                       uint64_t ops_per_thread)
 {
     std::printf("=== YCSB-A tail latency at %d mutator threads with "
-                "background defrag: StopTheWorld vs Concurrent ===\n\n",
-                threads);
+                "background defrag ===\n"
+                "=== StopTheWorld vs Concurrent at shards=%zu, plus "
+                "Concurrent at shards=1 (pre-shard baseline) ===\n\n",
+                threads, shards);
     const ModeResult stw = runMode(anchorage::DefragMode::StopTheWorld,
-                                   threads, records_per_thread,
+                                   threads, shards, records_per_thread,
                                    ops_per_thread);
     const ModeResult conc = runMode(anchorage::DefragMode::Concurrent,
-                                    threads, records_per_thread,
+                                    threads, shards, records_per_thread,
                                     ops_per_thread);
+    // The shards=1 baseline column; when the run is already at
+    // shards=1 the concurrent column IS the baseline, so reuse it
+    // instead of measuring the identical configuration twice.
+    const ModeResult conc1 =
+        shards == 1 ? conc
+                    : runMode(anchorage::DefragMode::Concurrent,
+                              threads, 1, records_per_thread,
+                              ops_per_thread);
 
-    std::printf("%-30s %14s %14s\n", "metric", "stop-the-world",
-                "concurrent");
-    auto row = [](const char *name, double a, double b,
+    std::printf("%-30s %14s %14s %14s\n", "metric", "stw",
+                "concurrent", "conc/1shard");
+    auto row = [](const char *name, double a, double b, double c,
                   const char *unit) {
-        std::printf("%-30s %12.2f%s %12.2f%s\n", name, a, unit, b, unit);
+        std::printf("%-30s %12.2f%s %12.2f%s %12.2f%s\n", name, a, unit,
+                    b, unit, c, unit);
     };
-    row("read p50", stw.read_p50, conc.read_p50, "us");
-    row("read p99", stw.read_p99, conc.read_p99, "us");
-    row("read p999", stw.read_p999, conc.read_p999, "us");
-    row("update p50", stw.update_p50, conc.update_p50, "us");
-    row("update p99", stw.update_p99, conc.update_p99, "us");
-    row("update p999", stw.update_p999, conc.update_p999, "us");
+    row("read p50", stw.read_p50, conc.read_p50, conc1.read_p50, "us");
+    row("read p99", stw.read_p99, conc.read_p99, conc1.read_p99, "us");
+    row("read p999", stw.read_p999, conc.read_p999, conc1.read_p999,
+        "us");
+    row("update p50", stw.update_p50, conc.update_p50, conc1.update_p50,
+        "us");
+    row("update p99", stw.update_p99, conc.update_p99, conc1.update_p99,
+        "us");
+    row("update p999", stw.update_p999, conc.update_p999,
+        conc1.update_p999, "us");
     row("throughput",
         static_cast<double>(stw.total_ops) / stw.wall_sec / 1e6,
         static_cast<double>(conc.total_ops) / conc.wall_sec / 1e6,
+        static_cast<double>(conc1.total_ops) / conc1.wall_sec / 1e6,
         "Mops");
     row("fragmentation at start", stw.frag_before, conc.frag_before,
-        "  ");
-    row("fragmentation at end", stw.frag_after, conc.frag_after, "  ");
+        conc1.frag_before, "  ");
+    row("fragmentation at end", stw.frag_after, conc.frag_after,
+        conc1.frag_after, "  ");
     row("fragmentation min (in run)", stw.frag_min, conc.frag_min,
-        "  ");
+        conc1.frag_min, "  ");
     row("run fraction below F_lb", stw.frag_below_lb * 100,
-        conc.frag_below_lb * 100, "% ");
+        conc.frag_below_lb * 100, conc1.frag_below_lb * 100, "% ");
     row("mutator pause time", stw.pause_sec * 1e3, conc.pause_sec * 1e3,
-        "ms");
-    std::printf("%-30s %13zu  %13zu\n", "stop-the-world barriers",
+        conc1.pause_sec * 1e3, "ms");
+    std::printf("%-30s %13zu  %13zu  %13zu\n", "stop-the-world barriers",
                 static_cast<size_t>(stw.barriers),
-                static_cast<size_t>(conc.barriers));
-    std::printf("%-30s %13zu  %13zu\n", "defrag passes/campaigns",
-                stw.passes, conc.passes);
-    std::printf("%-30s %13zu  %13zu\n", "objects moved",
-                stw.totals.movedObjects, conc.totals.movedObjects);
-    std::printf("%-30s %11.1fMB  %11.1fMB\n", "bytes reclaimed",
+                static_cast<size_t>(conc.barriers),
+                static_cast<size_t>(conc1.barriers));
+    std::printf("%-30s %13zu  %13zu  %13zu\n", "defrag passes/campaigns",
+                stw.passes, conc.passes, conc1.passes);
+    std::printf("%-30s %13zu  %13zu  %13zu\n", "objects moved",
+                stw.totals.movedObjects, conc.totals.movedObjects,
+                conc1.totals.movedObjects);
+    std::printf("%-30s %11.1fMB  %11.1fMB  %11.1fMB\n",
+                "bytes reclaimed",
                 static_cast<double>(stw.totals.reclaimedBytes) / 1e6,
-                static_cast<double>(conc.totals.reclaimedBytes) / 1e6);
-    std::printf("%-30s %8zu/%-5zu %8zu/%-5zu\n",
+                static_cast<double>(conc.totals.reclaimedBytes) / 1e6,
+                static_cast<double>(conc1.totals.reclaimedBytes) / 1e6);
+    std::printf("%-30s %8zu/%-5zu %8zu/%-5zu %8zu/%-5zu\n",
                 "campaign commits/aborts",
                 static_cast<size_t>(stw.totals.committed),
                 static_cast<size_t>(stw.totals.aborted),
                 static_cast<size_t>(conc.totals.committed),
-                static_cast<size_t>(conc.totals.aborted));
-    std::printf("%-30s %13.3f  %13.3f\n", "campaign abort rate",
-                stw.totals.abortRate(), conc.totals.abortRate());
+                static_cast<size_t>(conc.totals.aborted),
+                static_cast<size_t>(conc1.totals.committed),
+                static_cast<size_t>(conc1.totals.aborted));
+    std::printf("%-30s %13.3f  %13.3f  %13.3f\n", "campaign abort rate",
+                stw.totals.abortRate(), conc.totals.abortRate(),
+                conc1.totals.abortRate());
 
     std::printf("\nConcurrent mode must show zero barriers (relocation "
                 "is speculative, paper par.7): defrag\n"
                 "happens while all %d mutators run, and only the "
                 "abort/commit protocol arbitrates races.\n"
-                "Both modes should drive fragmentation from above "
+                "All modes should drive fragmentation from above "
                 "F_ub=%.2f to below F_lb=%.2f (see the\n"
                 "in-run minimum; the controller's hysteresis then lets "
-                "churn relax back into the band).\n",
+                "churn relax back into the band).\n"
+                "The conc/1shard column funnels every halloc/hfree "
+                "through one service lock — the pre-shard\n"
+                "design; the sharded columns give each thread its own "
+                "sub-heap chain and lock.\n",
                 threads, anchorage::ControlParams{}.fUb,
                 anchorage::ControlParams{}.fLb);
 }
@@ -395,7 +438,8 @@ main(int argc, char **argv)
     uint64_t records = 100000;
     uint64_t ops = 400000;
     int threads = 8;
-    uint64_t mrecords = 16000;
+    size_t shards = 8;
+    uint64_t mrecords = 8000;
     uint64_t mops = 300000;
     bool single_only = false;
     bool multi_only = false;
@@ -415,6 +459,8 @@ main(int argc, char **argv)
             mops = 8000;
         } else if (const char *v = value("--threads=")) {
             threads = std::atoi(v);
+        } else if (const char *v = value("--shards=")) {
+            shards = std::strtoull(v, nullptr, 10);
         } else if (const char *v = value("--records=")) {
             records = std::strtoull(v, nullptr, 10);
         } else if (const char *v = value("--ops=")) {
@@ -430,8 +476,9 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--threads=N] "
-                         "[--records=N] [--ops=N] [--mrecords=N] "
-                         "[--mops=N] [--single-only] [--multi-only]\n",
+                         "[--shards=N] [--records=N] [--ops=N] "
+                         "[--mrecords=N] [--mops=N] [--single-only] "
+                         "[--multi-only]\n",
                          argv[0]);
             return 2;
         }
@@ -440,6 +487,6 @@ main(int argc, char **argv)
     if (!multi_only)
         runSingleThreadSection(records, ops);
     if (!single_only)
-        runMultiThreadSection(threads, mrecords, mops);
+        runMultiThreadSection(threads, shards, mrecords, mops);
     return 0;
 }

@@ -7,6 +7,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Docs gate: public headers in src/anchorage/ and src/services/ must
+# document every public class (locking/shard-affinity contracts live
+# there; see docs/ARCHITECTURE.md).
+sh scripts/check_header_docs.sh
+
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 cd build
@@ -14,7 +19,10 @@ ctest --output-on-failure -j "$(nproc)"
 
 # Bench smoke: tiny iteration counts, output discarded — this only
 # proves the harnesses still run end to end (the multi-threaded YCSB
-# smoke covers the concurrent-relocation daemon path).
+# smoke covers the concurrent-relocation daemon path). The YCSB smoke
+# runs once sharded (shards=8) and once with the single-shard
+# configuration so neither allocation path can bit-rot.
 ./handle_alloc_bench > /dev/null
-./tab_ycsb_latency --smoke > /dev/null
+./tab_ycsb_latency --smoke --shards=8 > /dev/null
+./tab_ycsb_latency --smoke --multi-only --shards=1 > /dev/null
 echo "bench smoke OK"

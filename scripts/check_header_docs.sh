@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Docs gate: every top-level (public) class/struct declared in the
+# public headers under src/anchorage/ and src/services/ must carry a
+# doc comment (a /** ... */ block or /// line immediately above it).
+# Forward declarations (lines ending in ';') are exempt. Nested types
+# are indented and therefore not matched; their documentation is
+# reviewed with the enclosing class.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+for header in src/anchorage/*.h src/services/*.h; do
+    if ! awk -v file="$header" '
+        /^[[:space:]]*$/ { next }
+        /^(class|struct)[[:space:]]+[A-Za-z_]/ && $0 !~ /;[[:space:]]*$/ {
+            ok = (prev ~ /\*\//) || (prev ~ /^\/\//)
+            # A template header line between the doc and the class is
+            # fine: template<...> on prev, doc on prev2.
+            if (!ok && prev ~ /^template/)
+                ok = (prev2 ~ /\*\//) || (prev2 ~ /^\/\//)
+            if (!ok) {
+                printf "%s:%d: undocumented public type: %s\n", \
+                       file, NR, $0
+                bad = 1
+            }
+        }
+        { prev2 = prev; prev = $0 }
+        END { exit bad }
+    ' "$header"; then
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "header docs check FAILED: document the types above" >&2
+    exit 1
+fi
+echo "header docs OK"

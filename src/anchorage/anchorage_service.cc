@@ -22,12 +22,26 @@ occupancyOf(const SubHeap &heap)
                      static_cast<double>(heap.extent());
 }
 
+size_t
+roundUpPow2(size_t v)
+{
+    size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
 } // anonymous namespace
 
 AnchorageService::AnchorageService(AddressSpace &space,
                                    AnchorageConfig config)
     : space_(space), config_(config)
 {
+    config_.shards =
+        roundUpPow2(std::clamp<size_t>(config_.shards, 1, 256));
+    shards_.reserve(config_.shards);
+    for (size_t i = 0; i < config_.shards; i++)
+        shards_.push_back(std::make_unique<Shard>());
 }
 
 AnchorageService::~AnchorageService() = default;
@@ -44,81 +58,170 @@ AnchorageService::deinit()
     runtime_ = nullptr;
 }
 
-SubHeap *
-AnchorageService::heapOf(uint64_t addr)
+size_t
+AnchorageService::homeShardIndex() const
 {
-    for (auto &heap : heaps_) {
-        if (heap->contains(addr))
-            return heap.get();
-    }
-    return nullptr;
+    return HandleTable::threadOrdinal() & (shards_.size() - 1);
 }
 
-const SubHeap *
-AnchorageService::heapOf(uint64_t addr) const
+const AnchorageService::HeapRegion *
+AnchorageService::regionOf(uint64_t addr) const
 {
-    for (const auto &heap : heaps_) {
-        if (heap->contains(addr))
-            return heap.get();
-    }
-    return nullptr;
+    const auto *snapshot = regions_.load(std::memory_order_acquire);
+    if (snapshot == nullptr)
+        return nullptr;
+    auto it = std::upper_bound(
+        snapshot->begin(), snapshot->end(), addr,
+        [](uint64_t a, const HeapRegion &r) { return a < r.base; });
+    if (it == snapshot->begin())
+        return nullptr;
+    --it;
+    return addr < it->end ? &*it : nullptr;
+}
+
+SubHeap *
+AnchorageService::addSubHeapLocked(Shard &sh, uint32_t shard_idx,
+                                   size_t bytes)
+{
+    sh.heaps.push_back(
+        std::make_unique<SubHeap>(space_, bytes, shard_idx));
+    sh.orderDirty = true;
+    SubHeap *heap = sh.heaps.back().get();
+
+    std::lock_guard<std::mutex> guard(regionsMutex_);
+    const auto *current = regions_.load(std::memory_order_relaxed);
+    auto next = current
+                    ? std::make_unique<std::vector<HeapRegion>>(*current)
+                    : std::make_unique<std::vector<HeapRegion>>();
+    const HeapRegion region{heap->base(), heap->base() + heap->capacity(),
+                            shard_idx, heap};
+    next->insert(std::upper_bound(next->begin(), next->end(),
+                                  region.base,
+                                  [](uint64_t a, const HeapRegion &r) {
+                                      return a < r.base;
+                                  }),
+                 region);
+    regions_.store(next.get(), std::memory_order_release);
+    ownedRegionMaps_.push_back(std::move(next));
+    return heap;
+}
+
+void
+AnchorageService::invalidatePlacementLocked(Shard &sh)
+{
+    sh.fallbackHint = SIZE_MAX;
+    sh.orderDirty = true;
+}
+
+void
+AnchorageService::rebuildDensityOrderLocked(Shard &sh)
+{
+    sh.densityOrder.resize(sh.heaps.size());
+    for (size_t i = 0; i < sh.densityOrder.size(); i++)
+        sh.densityOrder[i] = i;
+    // occupancyOf() reports 1.0 for empty heaps (a source-selection
+    // convention); as destinations they must rank last, or a bump
+    // would resurrect the extent a defrag pass just trimmed to zero.
+    auto dest_density = [&](size_t i) {
+        return sh.heaps[i]->extent() == 0 ? -1.0
+                                          : occupancyOf(*sh.heaps[i]);
+    };
+    std::stable_sort(sh.densityOrder.begin(), sh.densityOrder.end(),
+                     [&](size_t a, size_t b) {
+                         return dest_density(a) > dest_density(b);
+                     });
+    sh.orderDirty = false;
 }
 
 void *
 AnchorageService::alloc(uint32_t id, size_t size)
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    const size_t shard_idx = homeShardIndex();
+    Shard &sh = *shards_[shard_idx];
+    std::lock_guard<std::mutex> guard(sh.mutex);
 
     // Oversized objects get a dedicated sub-heap.
     const size_t heap_bytes = std::max(config_.subHeapBytes, size);
 
-    if (!heaps_.empty()) {
-        auto r = heaps_[cursor_]->alloc(id, size);
+    if (!sh.heaps.empty()) {
+        auto r = sh.heaps[sh.cursor]->alloc(id, size);
         if (r.ok)
             return reinterpret_cast<void *>(r.addr);
-        // Current sub-heap exhausted; try the others densest-first, and
-        // holes-anywhere before bumping anything. First-fit in index
-        // order would re-park the cursor on the sparsest heap — exactly
-        // the one a relocation campaign may be evacuating — and a bump
-        // while suitable holes exist regrows the extent that defrag
-        // just fought to trim.
-        std::vector<size_t> by_density(heaps_.size());
-        for (size_t i = 0; i < by_density.size(); i++)
-            by_density[i] = i;
-        // occupancyOf() reports 1.0 for empty heaps (a source-selection
-        // convention); as destinations they must rank last, or a bump
-        // would resurrect the extent a campaign just trimmed to zero.
-        auto dest_density = [&](size_t i) {
-            return heaps_[i]->extent() == 0 ? -1.0
-                                            : occupancyOf(*heaps_[i]);
-        };
-        std::stable_sort(by_density.begin(), by_density.end(),
-                         [&](size_t a, size_t b) {
-                             return dest_density(a) > dest_density(b);
-                         });
-        for (size_t i : by_density) {
-            if (i == cursor_)
-                continue;
-            r = heaps_[i]->allocFromFreeList(id, size);
+        // Cursor miss. Holes-anywhere must come before bumping anything
+        // (a bump while suitable holes exist regrows the extent defrag
+        // just fought to trim), and fallback placement is densest-first
+        // so the cursor never re-parks on the sparsest heap — exactly
+        // the one a relocation campaign may be evacuating. The hint
+        // remembers the last chain index that satisfied a miss so the
+        // steady-state miss costs one hole probe, not a chain scan; the
+        // density order is cached and re-sorted only after events that
+        // reshuffle densities wholesale (defrag, trim, chain growth).
+        if (sh.fallbackHint < sh.heaps.size() &&
+            sh.fallbackHint != sh.cursor) {
+            r = sh.heaps[sh.fallbackHint]->allocFromFreeList(id, size);
             if (r.ok) {
-                cursor_ = i;
+                sh.cursor = sh.fallbackHint;
                 return reinterpret_cast<void *>(r.addr);
             }
         }
-        for (size_t i : by_density) {
-            if (i == cursor_)
+        if (sh.orderDirty)
+            rebuildDensityOrderLocked(sh);
+        for (size_t i : sh.densityOrder) {
+            if (i == sh.cursor)
                 continue;
-            r = heaps_[i]->alloc(id, size);
+            r = sh.heaps[i]->allocFromFreeList(id, size);
             if (r.ok) {
-                cursor_ = i;
+                sh.cursor = i;
+                sh.fallbackHint = i;
+                return reinterpret_cast<void *>(r.addr);
+            }
+        }
+        // Holes-anywhere before bumping: the home chain has no
+        // reusable hole left, but another shard may (a store that
+        // emptied, a thread that went idle). Reusing those keeps the
+        // global extent from growing — the single-chain design got
+        // this for free, and losing it makes every shard's bump slack
+        // permanent until defrag. try_lock keeps the probe
+        // deadlock-free (two shards can probe each other) and skips
+        // shards that are busy allocating (their holes are being
+        // reused locally anyway). Only dense heaps are stolen from:
+        // a sparse heap is exactly what a relocation campaign drains,
+        // and its LIFO free list would hand a just-evacuated block
+        // right back, undoing the compaction as fast as it happens —
+        // while filling a dense heap's hole is the same placement the
+        // campaign itself prefers.
+        for (size_t step = 1; step < shards_.size(); step++) {
+            const size_t other_idx =
+                (shard_idx + step) & (shards_.size() - 1);
+            Shard &other = *shards_[other_idx];
+            std::unique_lock<std::mutex> other_guard(other.mutex,
+                                                     std::try_to_lock);
+            if (!other_guard.owns_lock())
+                continue;
+            for (auto &heap : other.heaps) {
+                if (heap->liveBytes() * 2 < heap->extent())
+                    continue; // sparse: a campaign's source, not ours
+                r = heap->allocFromFreeList(id, size);
+                if (r.ok)
+                    return reinterpret_cast<void *>(r.addr);
+            }
+        }
+        for (size_t i : sh.densityOrder) {
+            if (i == sh.cursor)
+                continue;
+            r = sh.heaps[i]->alloc(id, size);
+            if (r.ok) {
+                sh.cursor = i;
+                sh.fallbackHint = i;
                 return reinterpret_cast<void *>(r.addr);
             }
         }
     }
 
-    heaps_.push_back(std::make_unique<SubHeap>(space_, heap_bytes));
-    cursor_ = heaps_.size() - 1;
-    auto r = heaps_[cursor_]->alloc(id, size);
+    SubHeap *fresh = addSubHeapLocked(
+        sh, static_cast<uint32_t>(shard_idx), heap_bytes);
+    sh.cursor = sh.heaps.size() - 1;
+    auto r = fresh->alloc(id, size);
     ALASKA_ASSERT(r.ok, "fresh sub-heap cannot satisfy %zu bytes", size);
     return reinterpret_cast<void *>(r.addr);
 }
@@ -127,51 +230,60 @@ void
 AnchorageService::free(uint32_t id, void *ptr)
 {
     (void)id;
-    std::lock_guard<std::mutex> guard(mutex_);
-    SubHeap *heap = heapOf(reinterpret_cast<uint64_t>(ptr));
-    ALASKA_ASSERT(heap != nullptr, "free of pointer outside the heap");
-    heap->free(reinterpret_cast<uint64_t>(ptr));
+    const HeapRegion *region = regionOf(reinterpret_cast<uint64_t>(ptr));
+    ALASKA_ASSERT(region != nullptr, "free of pointer outside the heap");
+    Shard &sh = *shards_[region->shard];
+    std::lock_guard<std::mutex> guard(sh.mutex);
+    region->heap->free(reinterpret_cast<uint64_t>(ptr));
 }
 
 size_t
 AnchorageService::usableSize(const void *ptr) const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
-    const SubHeap *heap = heapOf(reinterpret_cast<uint64_t>(ptr));
-    if (!heap)
+    const HeapRegion *region = regionOf(reinterpret_cast<uint64_t>(ptr));
+    if (!region)
         return 0;
-    const int idx = heap->findBlock(reinterpret_cast<uint64_t>(ptr));
-    return idx < 0 ? 0 : heap->blocks()[idx].size;
+    Shard &sh = *shards_[region->shard];
+    std::lock_guard<std::mutex> guard(sh.mutex);
+    const int idx =
+        region->heap->findBlock(reinterpret_cast<uint64_t>(ptr));
+    return idx < 0 ? 0 : region->heap->blocks()[idx].size;
 }
 
 size_t
 AnchorageService::heapExtent() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
     size_t total = 0;
-    for (const auto &heap : heaps_)
-        total += heap->extent();
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> guard(sh->mutex);
+        for (const auto &heap : sh->heaps)
+            total += heap->extent();
+    }
     return total;
 }
 
 size_t
 AnchorageService::activeBytes() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
     size_t total = 0;
-    for (const auto &heap : heaps_)
-        total += heap->liveBytes();
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> guard(sh->mutex);
+        for (const auto &heap : sh->heaps)
+            total += heap->liveBytes();
+    }
     return total;
 }
 
 double
 AnchorageService::fragmentation() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
     size_t extent = 0, active = 0;
-    for (const auto &heap : heaps_) {
-        extent += heap->extent();
-        active += heap->liveBytes();
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> guard(sh->mutex);
+        for (const auto &heap : sh->heaps) {
+            extent += heap->extent();
+            active += heap->liveBytes();
+        }
     }
     return active == 0 ? 1.0
                        : static_cast<double>(extent) /
@@ -181,26 +293,29 @@ AnchorageService::fragmentation() const
 size_t
 AnchorageService::subHeapCount() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
-    return heaps_.size();
+    size_t total = 0;
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> guard(sh->mutex);
+        total += sh->heaps.size();
+    }
+    return total;
 }
 
-SubHeapAlloc
-AnchorageService::destAlloc(uint32_t id, size_t size, uint64_t src_addr,
-                            SubHeap *src_heap,
-                            SubHeap::CompactionIndex &index)
+AnchorageService::ShardStats
+AnchorageService::shardStats(size_t shard) const
 {
-    // First choice: a hole strictly below the object in its own heap
-    // (classic compaction).
-    const int idx = src_heap->popLowestFreeBelow(index, size, src_addr);
-    if (idx >= 0) {
-        src_heap->claimBlock(idx, id, size);
-        return {true, src_heap->blocks()[idx].addr};
+    ALASKA_ASSERT(shard < shards_.size(), "shard %zu out of range",
+                  shard);
+    ShardStats stats;
+    const Shard &sh = *shards_[shard];
+    std::lock_guard<std::mutex> guard(sh.mutex);
+    stats.subHeaps = sh.heaps.size();
+    for (const auto &heap : sh.heaps) {
+        stats.extent += heap->extent();
+        stats.liveBytes += heap->liveBytes();
+        stats.freeBytes += heap->freeBytes();
     }
-    // Second choice: a denser sub-heap (ranked by the caller). Handled
-    // in movePass via explicit candidate list; this overload only does
-    // the same-heap case.
-    return {false, 0};
+    return stats;
 }
 
 DefragStats
@@ -232,22 +347,33 @@ AnchorageService::movePass(const PinnedSet &pinned, size_t max_bytes)
 {
     Stopwatch watch;
     DefragStats stats;
-    std::lock_guard<std::mutex> guard(mutex_);
+    // The world is stopped, so no registered thread holds a shard lock;
+    // still take every lock (index order) so unregistered allocator
+    // threads cannot race the move loop either.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto &sh : shards_)
+        locks.emplace_back(sh->mutex);
 
-    // Rank sub-heaps emptiest-first: cheap-to-empty heaps are sources;
-    // denser heaps (later ranks) are destinations.
-    std::vector<size_t> order(heaps_.size());
-    for (size_t i = 0; i < order.size(); i++)
-        order[i] = i;
+    // Rank every sub-heap of every shard emptiest-first: cheap-to-empty
+    // heaps are sources; denser heaps (later ranks) are destinations.
+    // The ranking is global, which is what makes the pass a cross-shard
+    // stealer — a sparse shard's chain evacuates into any denser
+    // shard's holes.
+    std::vector<HeapRef> order;
+    for (uint32_t s = 0; s < shards_.size(); s++) {
+        for (uint32_t h = 0; h < shards_[s]->heaps.size(); h++)
+            order.push_back(HeapRef{s, h});
+    }
     std::stable_sort(order.begin(), order.end(),
-                     [&](size_t a, size_t b) {
-                         return occupancyOf(*heaps_[a]) <
-                                occupancyOf(*heaps_[b]);
+                     [&](HeapRef a, HeapRef b) {
+                         return occupancyOf(heapAt(a)) <
+                                occupancyOf(heapAt(b));
                      });
 
     size_t budget = max_bytes;
     for (size_t rank = 0; rank < order.size() && budget > 0; rank++) {
-        SubHeap &src = *heaps_[order[rank]];
+        SubHeap &src = heapAt(order[rank]);
         auto &blocks = src.blocks();
         SubHeap::CompactionIndex index = src.buildCompactionIndex();
         // Walk from the top of the sub-heap downward (§4.3).
@@ -261,13 +387,27 @@ AnchorageService::movePass(const PinnedSet &pinned, size_t max_bytes)
                 continue;
             }
 
-            SubHeapAlloc dest = destAlloc(blk.handleId, blk.size,
-                                          blk.addr, &src, index);
-            if (!dest.ok) {
-                // Try denser sub-heaps, densest last in the ranking.
+            // First choice: a hole strictly below the object in its own
+            // sub-heap (classic compaction). Second: any denser sub-heap
+            // in the global ranking, densest last.
+            SubHeapAlloc dest{false, 0};
+            const int dest_idx =
+                src.popLowestFreeBelow(index, blk.size, blk.addr);
+            if (dest_idx >= 0) {
+                src.claimBlock(dest_idx, blk.handleId, blk.size);
+                dest = {true, src.blocks()[dest_idx].addr};
+            } else {
                 for (size_t r2 = order.size(); r2-- > rank + 1;) {
-                    dest = heaps_[order[r2]]->alloc(blk.handleId,
-                                                    blk.size);
+                    SubHeap &cand = heapAt(order[r2]);
+                    // Never bump an empty heap: occupancyOf ranks
+                    // extent-0 heaps densest (a source-selection
+                    // convention), but filling one only relocates
+                    // extent — and a heap another rank of this very
+                    // pass just evacuated would ping-pong the whole
+                    // chain between shards, pass after pass.
+                    if (cand.extent() == 0)
+                        continue;
+                    dest = cand.alloc(blk.handleId, blk.size);
                     if (dest.ok)
                         break;
                 }
@@ -289,9 +429,29 @@ AnchorageService::movePass(const PinnedSet &pinned, size_t max_bytes)
         stats.reclaimedBytes += src.trimTop();
     }
 
-    // Give every sub-heap's trailing pages back to the kernel.
-    for (auto &heap : heaps_)
-        stats.reclaimedBytes += heap->trimTop();
+    // Give every sub-heap's trailing pages back to the kernel, and drop
+    // the placement caches the pass invalidated.
+    for (auto &sh : shards_) {
+        for (auto &heap : sh->heaps)
+            stats.reclaimedBytes += heap->trimTop();
+        invalidatePlacementLocked(*sh);
+    }
+
+    // Retire superseded region snapshots. Safe exactly here: the world
+    // is stopped, so registered threads cannot be inside regionOf()
+    // (heap-op threads are registered — the repo-wide contract the
+    // barrier itself already relies on), and every shard lock is held,
+    // so no addSubHeapLocked() is mid-publish. Without this pruning a
+    // long-running service retains one snapshot per sub-heap ever
+    // created — quadratic bytes in the sub-heap count.
+    {
+        std::lock_guard<std::mutex> guard(regionsMutex_);
+        const auto *current = regions_.load(std::memory_order_relaxed);
+        auto keep = std::remove_if(
+            ownedRegionMaps_.begin(), ownedRegionMaps_.end(),
+            [&](const auto &snap) { return snap.get() != current; });
+        ownedRegionMaps_.erase(keep, ownedRegionMaps_.end());
+    }
 
     stats.measuredSec = watch.elapsedSec();
     stats.modeledSec =
@@ -322,30 +482,46 @@ AnchorageService::relocateCampaign(size_t max_bytes)
                                                  std::memory_order_seq_cst);
     runtime_->quiesceConcurrentAccessors();
 
-    // Rank sub-heaps emptiest-first once per campaign; sparse heaps are
-    // evacuated into denser ones, like the stop-the-world pass.
-    std::vector<size_t> order;
-    {
-        std::lock_guard<std::mutex> guard(mutex_);
-        order.resize(heaps_.size());
-        for (size_t i = 0; i < order.size(); i++)
-            order[i] = i;
-        std::stable_sort(order.begin(), order.end(),
-                         [&](size_t a, size_t b) {
-                             return occupancyOf(*heaps_[a]) <
-                                    occupancyOf(*heaps_[b]);
-                         });
-        // Steer fresh mutator allocations to the densest heap (with an
-        // extent to fill) for the campaign's duration: the LIFO free
-        // lists would otherwise hand a just-evacuated top block right
-        // back to the next allocation, undoing the compaction as fast
-        // as it happens.
-        for (size_t r = order.size(); r-- > 0;) {
-            if (heaps_[order[r]]->extent() > 0) {
-                cursor_ = order[r];
-                break;
+    // Rank every shard's sub-heaps emptiest-first once per campaign
+    // (one shard lock at a time); sparse heaps anywhere are evacuated
+    // into denser ones anywhere, like the stop-the-world pass. While
+    // visiting each shard, steer its fresh allocations to its densest
+    // heap (with an extent to fill) for the campaign's duration: the
+    // LIFO free lists would otherwise hand a just-evacuated top block
+    // right back to the next allocation, undoing the compaction as
+    // fast as it happens.
+    std::vector<HeapRef> order;
+    std::vector<double> occupancy;
+    for (uint32_t s = 0; s < shards_.size(); s++) {
+        Shard &sh = *shards_[s];
+        std::lock_guard<std::mutex> guard(sh.mutex);
+        double best = -1.0;
+        size_t best_idx = SIZE_MAX;
+        for (uint32_t h = 0; h < sh.heaps.size(); h++) {
+            const double occ = occupancyOf(*sh.heaps[h]);
+            order.push_back(HeapRef{s, h});
+            occupancy.push_back(occ);
+            if (sh.heaps[h]->extent() > 0 && occ >= best) {
+                best = occ;
+                best_idx = h;
             }
         }
+        if (best_idx != SIZE_MAX)
+            sh.cursor = best_idx;
+    }
+    {
+        std::vector<size_t> perm(order.size());
+        for (size_t i = 0; i < perm.size(); i++)
+            perm[i] = i;
+        std::stable_sort(perm.begin(), perm.end(),
+                         [&](size_t a, size_t b) {
+                             return occupancy[a] < occupancy[b];
+                         });
+        std::vector<HeapRef> sorted;
+        sorted.reserve(order.size());
+        for (size_t i : perm)
+            sorted.push_back(order[i]);
+        order.swap(sorted);
     }
 
     size_t budget = max_bytes;
@@ -353,6 +529,7 @@ AnchorageService::relocateCampaign(size_t max_bytes)
         runtime_->currentThreadStateOrNull() != nullptr;
     std::vector<Candidate> candidates;
     for (size_t rank = 0; rank < order.size() && budget > 0; rank++) {
+        const HeapRef src_ref = order[rank];
         // Snapshot this source's live blocks (top of the extent
         // downward, §4.3) and its holes immediately before walking it:
         // under mutator churn a campaign-start snapshot goes stale in
@@ -362,8 +539,9 @@ AnchorageService::relocateCampaign(size_t max_bytes)
         candidates.clear();
         SubHeap::CompactionIndex index;
         {
-            std::lock_guard<std::mutex> guard(mutex_);
-            SubHeap &heap = *heaps_[order[rank]];
+            Shard &sh = *shards_[src_ref.shard];
+            std::lock_guard<std::mutex> guard(sh.mutex);
+            SubHeap &heap = *sh.heaps[src_ref.heapIdx];
             const auto &blocks = heap.blocks();
             size_t snapshotted = 0;
             for (size_t i = blocks.size();
@@ -372,13 +550,14 @@ AnchorageService::relocateCampaign(size_t max_bytes)
                     continue;
                 candidates.push_back(
                     Candidate{blocks[i].handleId, blocks[i].addr,
-                              blocks[i].size, order[rank], rank});
+                              blocks[i].size, src_ref, rank});
                 snapshotted += blocks[i].size;
             }
             if (!candidates.empty())
                 index = heap.buildCompactionIndex();
         }
         size_t consecutive_no_space = 0;
+        DestCache cache;
         for (const Candidate &cand : candidates) {
             if (budget == 0)
                 break;
@@ -388,7 +567,7 @@ AnchorageService::relocateCampaign(size_t max_bytes)
                 poll();
             const uint64_t no_space_before = stats.noSpace;
             const uint64_t committed_before = stats.committed;
-            moveOneConcurrent(cand, order, index, stats, budget);
+            moveOneConcurrent(cand, order, index, cache, stats, budget);
             if (stats.committed != committed_before)
                 consecutive_no_space = 0;
             else if (stats.noSpace != no_space_before)
@@ -406,17 +585,20 @@ AnchorageService::relocateCampaign(size_t max_bytes)
         // spent, and later sources never use an earlier (sparser) heap
         // as a destination.
         {
-            std::lock_guard<std::mutex> guard(mutex_);
-            stats.reclaimedBytes += heaps_[order[rank]]->trimTop();
+            Shard &sh = *shards_[src_ref.shard];
+            std::lock_guard<std::mutex> guard(sh.mutex);
+            stats.reclaimedBytes += sh.heaps[src_ref.heapIdx]->trimTop();
+            invalidatePlacementLocked(sh);
         }
     }
 
     // Final sweep: trailing holes opened by mutator frees during the
     // campaign, and destination heaps whose tails the moves freed.
-    {
-        std::lock_guard<std::mutex> guard(mutex_);
-        for (auto &heap : heaps_)
+    for (auto &sh : shards_) {
+        std::lock_guard<std::mutex> guard(sh->mutex);
+        for (auto &heap : sh->heaps)
             stats.reclaimedBytes += heap->trimTop();
+        invalidatePlacementLocked(*sh);
     }
 
     Runtime::gConcurrentRelocCampaigns.fetch_sub(1,
@@ -432,9 +614,10 @@ AnchorageService::relocateCampaign(size_t max_bytes)
 
 void
 AnchorageService::moveOneConcurrent(const Candidate &cand,
-                                    const std::vector<size_t> &order,
+                                    const std::vector<HeapRef> &order,
                                     SubHeap::CompactionIndex &index,
-                                    DefragStats &stats, size_t &budget)
+                                    DestCache &cache, DefragStats &stats,
+                                    size_t &budget)
 {
     auto &entry = runtime_->table().entry(cand.id);
 
@@ -446,16 +629,23 @@ AnchorageService::moveOneConcurrent(const Candidate &cand,
         return;
 
     // Phase 1: claim a strictly better destination — a lower hole in
-    // the source sub-heap, else a hole in any denser sub-heap — while
-    // holding the heap lock, revalidating that the source block is
-    // still ours. Doing this *before* marking keeps the common no-hole
-    // outcome free of CAS traffic on the entry.
+    // the source sub-heap, else a hole (then a bump) in any denser
+    // sub-heap of any shard. One shard lock at a time: the source is
+    // revalidated under its own lock, and a cross-shard destination is
+    // claimed under the destination shard's lock only. The source can
+    // change between those two sections — that is fine, because the
+    // claim merely reserves space; the mark CAS below (and the commit
+    // CAS after the copy) are what arbitrate against every mutator
+    // interleaving. Doing all of this *before* marking keeps the
+    // common no-hole outcome free of CAS traffic on the entry.
     uint64_t dest_addr = 0;
     SubHeap *dest_heap = nullptr;
+    uint32_t dest_shard = 0;
     size_t bytes = 0;
     {
-        std::lock_guard<std::mutex> guard(mutex_);
-        SubHeap &src = *heaps_[cand.heapIdx];
+        Shard &ssh = *shards_[cand.src.shard];
+        std::lock_guard<std::mutex> guard(ssh.mutex);
+        SubHeap &src = *ssh.heaps[cand.src.heapIdx];
         const int src_idx = src.findBlock(cand.addr);
         if (src_idx < 0 || src.blocks()[src_idx].handleId != cand.id)
             return; // freed and possibly reused since the snapshot
@@ -466,37 +656,67 @@ AnchorageService::moveOneConcurrent(const Candidate &cand,
             src.claimBlock(dest_idx, cand.id, bytes);
             dest_addr = src.blocks()[dest_idx].addr;
             dest_heap = &src;
-        } else {
-            // Prefer an existing hole in any denser heap; falling back
-            // to a bump there is still a win (region-evacuation style):
-            // standing holes rarely match every candidate's size class,
-            // and bumping a dense heap lets the source's whole tail
-            // trim, a net extent reduction for any source below full
-            // occupancy.
-            for (size_t r2 = order.size(); r2-- > cand.rank + 1;) {
-                const SubHeapAlloc r =
-                    heaps_[order[r2]]->allocFromFreeList(cand.id, bytes);
-                if (r.ok) {
-                    dest_addr = r.addr;
-                    dest_heap = heaps_[order[r2]].get();
-                    break;
-                }
+            dest_shard = cand.src.shard;
+        }
+    }
+    // Cached destination first: one lock, one probe. The cache only
+    // ever holds a rank strictly denser than the current source (ranks
+    // are campaign-global and sources are walked sparsest-first), and
+    // a miss falls through to the full scans, which refresh it.
+    if (dest_heap == nullptr && cache.rank != SIZE_MAX &&
+        cache.rank > cand.rank) {
+        const HeapRef ref = order[cache.rank];
+        Shard &dsh = *shards_[ref.shard];
+        std::lock_guard<std::mutex> guard(dsh.mutex);
+        SubHeap &heap = *dsh.heaps[ref.heapIdx];
+        if (heap.extent() > 0) {
+            const SubHeapAlloc r = heap.alloc(cand.id, bytes);
+            if (r.ok) {
+                dest_addr = r.addr;
+                dest_heap = &heap;
+                dest_shard = ref.shard;
             }
-            for (size_t r2 = order.size();
-                 dest_heap == nullptr && r2-- > cand.rank + 1;) {
-                // Never bump an empty heap: occupancyOf ranks extent-0
-                // heaps densest (a source-selection convention), but as
-                // a destination that would regrow a fully evacuated
-                // region.
-                if (heaps_[order[r2]]->extent() == 0)
-                    continue;
-                const SubHeapAlloc r =
-                    heaps_[order[r2]]->alloc(cand.id, bytes);
-                if (r.ok) {
-                    dest_addr = r.addr;
-                    dest_heap = heaps_[order[r2]].get();
-                    break;
-                }
+        }
+    }
+    if (dest_heap == nullptr) {
+        // Prefer an existing hole in any denser heap; falling back to a
+        // bump there is still a win (region-evacuation style): standing
+        // holes rarely match every candidate's size class, and bumping
+        // a dense heap lets the source's whole tail trim, a net extent
+        // reduction for any source below full occupancy.
+        for (size_t r2 = order.size(); r2-- > cand.rank + 1;) {
+            const HeapRef ref = order[r2];
+            Shard &dsh = *shards_[ref.shard];
+            std::lock_guard<std::mutex> guard(dsh.mutex);
+            const SubHeapAlloc r =
+                dsh.heaps[ref.heapIdx]->allocFromFreeList(cand.id,
+                                                          bytes);
+            if (r.ok) {
+                dest_addr = r.addr;
+                dest_heap = dsh.heaps[ref.heapIdx].get();
+                dest_shard = ref.shard;
+                cache.rank = r2;
+                break;
+            }
+        }
+        for (size_t r2 = order.size();
+             dest_heap == nullptr && r2-- > cand.rank + 1;) {
+            const HeapRef ref = order[r2];
+            Shard &dsh = *shards_[ref.shard];
+            std::lock_guard<std::mutex> guard(dsh.mutex);
+            SubHeap &heap = *dsh.heaps[ref.heapIdx];
+            // Never bump an empty heap: occupancyOf ranks extent-0
+            // heaps densest (a source-selection convention), but as a
+            // destination that would regrow a fully evacuated region.
+            if (heap.extent() == 0)
+                continue;
+            const SubHeapAlloc r = heap.alloc(cand.id, bytes);
+            if (r.ok) {
+                dest_addr = r.addr;
+                dest_heap = &heap;
+                dest_shard = ref.shard;
+                cache.rank = r2;
+                break;
             }
         }
     }
@@ -506,7 +726,8 @@ AnchorageService::moveOneConcurrent(const Candidate &cand,
         return;
     }
     auto releaseDest = [&] {
-        std::lock_guard<std::mutex> guard(mutex_);
+        Shard &dsh = *shards_[dest_shard];
+        std::lock_guard<std::mutex> guard(dsh.mutex);
         dest_heap->free(dest_addr);
     };
 
@@ -539,7 +760,7 @@ AnchorageService::moveOneConcurrent(const Candidate &cand,
     }
 
     // Phase 3: speculative copy while mutators may still read (and
-    // abort us by writing through) the old location.
+    // abort us by writing through) the old location. No lock held.
     space_.copy(dest_addr, cand.addr, bytes);
 
     // Phase 4: commit. An accessor, hfree, or hrealloc that intervened
@@ -548,8 +769,12 @@ AnchorageService::moveOneConcurrent(const Candidate &cand,
     if (entry.ptr.compare_exchange_strong(
             expected, reinterpret_cast<void *>(dest_addr),
             std::memory_order_acq_rel)) {
-        std::lock_guard<std::mutex> guard(mutex_);
-        SubHeap &src = *heaps_[cand.heapIdx];
+        // Commit success proves no hfree/hrealloc intervened (either
+        // would have replaced the marked pointer), so the source block
+        // is still ours to free — under its shard's lock.
+        Shard &ssh = *shards_[cand.src.shard];
+        std::lock_guard<std::mutex> guard(ssh.mutex);
+        SubHeap &src = *ssh.heaps[cand.src.heapIdx];
         const int src_idx = src.findBlock(cand.addr);
         ALASKA_ASSERT(src_idx >= 0 &&
                           src.blocks()[src_idx].handleId == cand.id,

@@ -7,12 +7,27 @@
  * object), trims the freed tails, and returns them to the kernel with
  * MADV_DONTNEED.
  *
- * Two execution models share that move loop's placement policy:
- * defrag() stops the world (paper §4.3), while relocateCampaign()
+ * Allocation is sharded: the single sub-heap chain of the paper's
+ * description is split into N per-shard chains, each with its own
+ * mutex, active-sub-heap cursor, and placement cache. A thread
+ * allocates from the shard selected by its HandleTable::threadOrdinal()
+ * (the same mapping that picks its handle-ID free-list shard), so
+ * halloc/hfree from different threads never touch the same lock unless
+ * they collide mod the shard count. Frees locate the owning shard
+ * through a lock-free region registry, so any thread can free any
+ * pointer.
+ *
+ * Defragmentation is a cross-shard stealer. Two execution models share
+ * the move loop's placement policy: defrag() stops the world and may
+ * hold every shard lock at once (paper §4.3), while relocateCampaign()
  * moves the same candidates concurrently with running mutators using
- * the speculative mark/copy/CAS protocol of paper §7 — see
+ * the speculative mark/copy/CAS protocol of paper §7, holding at most
+ * one shard lock at any instant — see
  * services/concurrent_reloc_daemon.h for the background-thread
- * packaging and anchorage/control.h for the mode knob.
+ * packaging and anchorage/control.h for the mode knob. Either way a
+ * sparse shard's sub-heaps can be evacuated into another shard's holes,
+ * so an idle fragmented shard is reclaimed by work done on behalf of
+ * the whole heap.
  */
 
 #ifndef ALASKA_ANCHORAGE_ANCHORAGE_SERVICE_H
@@ -39,6 +54,17 @@ struct AnchorageConfig
     /** Capacity of each sub-heap. */
     size_t subHeapBytes = 8ull << 20;
     /**
+     * Number of independent allocation shards. Each shard owns its own
+     * chain of sub-heaps; the calling thread's shard is
+     * HandleTable::threadOrdinal() mod this count, matching the handle
+     * table's 16-way free-list sharding so a thread's handle-ID shard
+     * and heap shard coincide. Rounded up to a power of two and clamped
+     * to [1, 256] at construction. Sub-heaps are created lazily, so a
+     * single-threaded program pays for exactly one shard regardless of
+     * this setting. See docs/TUNING.md for sizing guidance.
+     */
+    size_t shards = 16;
+    /**
      * Modeled copy bandwidth (bytes/sec) used to predict pause duration
      * for virtual-clock experiments; real-clock users ignore it.
      */
@@ -51,7 +77,8 @@ struct AnchorageConfig
  * Outcome of one defragmentation action — a stop-the-world pass, a
  * concurrent relocation campaign, or an accumulation of both. One
  * struct serves both modes so the controller budgets them uniformly;
- * the attempt/abort counters are zero for pure STW passes.
+ * the attempt/abort counters are zero for pure STW passes. Counters
+ * aggregate over every shard the action touched.
  */
 struct DefragStats
 {
@@ -104,39 +131,82 @@ struct DefragStats
     }
 };
 
-/** The defragmenting allocator service. */
+/**
+ * The defragmenting allocator service.
+ *
+ * Locking model: all allocation state lives in the per-shard chains;
+ * there is no service-wide mutex. The mutator-facing paths take exactly
+ * one shard lock — alloc() the calling thread's home shard, free() and
+ * usableSize() the shard owning the pointer (found via the lock-free
+ * region registry). Aggregate accessors visit the shards one at a time,
+ * so concurrent callers may observe a transiently skewed sum; quiescent
+ * reads are exact. defrag() runs inside a barrier holding every shard
+ * lock; relocateCampaign() holds at most one shard lock at a time and
+ * relies on the §7 mark/commit protocol for cross-shard atomicity.
+ */
 class AnchorageService : public Service
 {
   public:
     /**
-     * @param space where backing memory lives (real or phantom)
-     * @param config tuning knobs
+     * @param space where backing memory lives (real or phantom); must
+     *        be safe for concurrent use (both implementations are)
+     * @param config tuning knobs (shard count is normalized here)
      */
     explicit AnchorageService(AddressSpace &space,
                               AnchorageConfig config = {});
     ~AnchorageService() override;
 
     // --- Service interface ----------------------------------------------
+    /** Attach to the runtime. Not thread-safe; call before use. */
     void init(Runtime &runtime) override;
+    /** Detach. Not thread-safe; call after all heap use has ceased. */
     void deinit() override;
+    /**
+     * Allocate size bytes for handle id. Shard-affine: the fast path
+     * takes only the calling thread's home-shard lock, so concurrent
+     * allocations from threads on different shards never contend. When
+     * the home chain has no reusable hole, the miss path may steal a
+     * standing hole from another shard's *dense* heaps (at least half
+     * live) via a non-blocking try_lock probe — preserving the
+     * single-chain design's holes-anywhere-before-bump invariant, so
+     * one shard's frees remain reusable extent for every thread. The
+     * density gate is what keeps stealing from fighting a concurrent
+     * relocation campaign: sparse heaps are campaign sources, and
+     * their LIFO free lists would hand a just-evacuated block right
+     * back. Oversized requests (> subHeapBytes) get a dedicated
+     * sub-heap in the home shard.
+     */
     void *alloc(uint32_t id, size_t size) override;
+    /**
+     * Free a block previously returned by alloc(). Any thread may free
+     * any pointer: the owning shard is found via the lock-free region
+     * registry and only that shard's lock is taken.
+     */
     void free(uint32_t id, void *ptr) override;
+    /** Block size backing ptr; 0 if unknown. Locks the owning shard. */
     size_t usableSize(const void *ptr) const override;
+    /** Total used extent, summed shard by shard (transiently skewed
+     *  under concurrent mutation; exact at quiescence). */
     size_t heapExtent() const override;
+    /** Total live bytes, summed shard by shard (same caveat). */
     size_t activeBytes() const override;
     const char *name() const override { return "anchorage"; }
 
     // --- defragmentation ---------------------------------------------------
     /**
      * The paper's O(1) fragmentation metric: virtual extent of the heap
-     * over total size of active objects. 1.0 when empty.
+     * over total size of active objects, aggregated over every shard.
+     * 1.0 when empty. Lock-light: one shard lock at a time.
      */
     double fragmentation() const;
 
     /**
      * Trigger a barrier and run one partial defragmentation pass moving
      * at most max_bytes of objects (the control algorithm passes
-     * alpha * extent). Pinned objects are never moved.
+     * alpha * extent). Pinned objects are never moved. Inside the
+     * barrier the pass holds every shard lock and may steal across
+     * shards: sparse sub-heaps anywhere are evacuated into denser
+     * sub-heaps anywhere.
      */
     DefragStats defrag(size_t max_bytes);
 
@@ -145,13 +215,17 @@ class AnchorageService : public Service
 
     /**
      * One concurrent relocation campaign (paper §7): move up to
-     * max_bytes of objects from sparse sub-heaps to strictly better
-     * locations using the mark/copy/CAS protocol — no barrier, no
-     * stopped world. Mutators must translate through the mark-aware
-     * scoped path (services/concurrent_reloc.h) while campaigns can
-     * run; each object an accessor touches mid-move is aborted and
-     * retried in a later campaign. At most one campaign runs at a time;
-     * a second caller returns an empty result immediately.
+     * max_bytes of objects from sparse sub-heaps (of any shard) to
+     * strictly better locations using the mark/copy/CAS protocol — no
+     * barrier, no stopped world. Holds at most one shard lock at any
+     * instant: a cross-shard move claims its destination under the
+     * destination shard's lock, copies with no lock held, and frees the
+     * source under the source shard's lock only after the commit CAS —
+     * mutators that interleave anywhere abort the move via the mark
+     * protocol, never via lock exclusion. Mutators must translate
+     * through the mark-aware scoped path (services/concurrent_reloc.h)
+     * while campaigns can run. At most one campaign runs at a time; a
+     * second caller returns an empty result immediately.
      *
      * Calls from a runtime-registered thread poll safepoints between
      * objects, so Hybrid-mode barriers never wait on more than one
@@ -162,51 +236,169 @@ class AnchorageService : public Service
     /** RSS attributable to the heap (via the address space's pages). */
     size_t rss() const { return space_.rss(); }
 
-    /** Number of sub-heaps currently mapped. */
+    /** Sub-heaps currently mapped, across all shards. */
     size_t subHeapCount() const;
 
+    // --- shard introspection ------------------------------------------------
+    /** Per-shard accounting snapshot (see shardStats()). */
+    struct ShardStats
+    {
+        /** Sub-heaps in this shard's chain. */
+        size_t subHeaps = 0;
+        /** Used extent of those sub-heaps, bytes. */
+        size_t extent = 0;
+        /** Bytes in live blocks. */
+        size_t liveBytes = 0;
+        /** Bytes in free (reusable) holes. */
+        size_t freeBytes = 0;
+    };
+
+    /** Number of allocation shards (config.shards, normalized). */
+    size_t shardCount() const { return shards_.size(); }
+
+    /**
+     * The calling thread's home shard index — where its allocations
+     * land. Stable for the thread's lifetime; no locks.
+     */
+    size_t homeShardIndex() const;
+
+    /** Accounting snapshot of one shard. Takes that shard's lock. */
+    ShardStats shardStats(size_t shard) const;
+
   private:
+    /** Identifies one sub-heap: shard index + index in its chain. */
+    struct HeapRef
+    {
+        uint32_t shard;
+        uint32_t heapIdx;
+    };
+
     /** One relocation candidate snapshotted by a campaign. */
     struct Candidate
     {
         uint32_t id;
         uint64_t addr;
         uint32_t size;
-        /** Index into heaps_ of the source sub-heap. */
-        size_t heapIdx;
+        /** Source sub-heap. */
+        HeapRef src;
         /** Rank of the source in the campaign's occupancy order. */
         size_t rank;
     };
+
+    /**
+     * One allocation shard. All fields are guarded by mutex; the chain
+     * only grows (sub-heaps are never destroyed before the service),
+     * so indices and SubHeap pointers are stable once published.
+     */
+    struct alignas(64) Shard
+    {
+        mutable std::mutex mutex;
+        std::vector<std::unique_ptr<SubHeap>> heaps;
+        /** Index of the sub-heap used for fresh allocations. */
+        size_t cursor = 0;
+        /**
+         * Last chain index that satisfied a cursor miss; tried first on
+         * the next miss so the steady-state miss path is O(1) amortized
+         * instead of a chain scan. SIZE_MAX when cold. Invalidated by
+         * defrag and trim (which change densities wholesale).
+         */
+        size_t fallbackHint = SIZE_MAX;
+        /**
+         * Chain indices ordered densest-first for fallback placement,
+         * rebuilt lazily when dirty instead of re-sorted on every miss.
+         */
+        std::vector<size_t> densityOrder;
+        bool orderDirty = true;
+    };
+
+    /**
+     * Per-campaign destination cache: rank (into the campaign's heap
+     * order) of the last successful cross-heap destination. Candidates
+     * walked off one bump-packed source are near-identically sized, so
+     * the next move almost always fits the same destination — trying
+     * it first turns the O(heaps) lock-hop destination scan into one
+     * lock acquisition amortized. SIZE_MAX when cold.
+     */
+    struct DestCache
+    {
+        size_t rank = SIZE_MAX;
+    };
+
+    /** Registry entry mapping an address range to its sub-heap. */
+    struct HeapRegion
+    {
+        uint64_t base;
+        uint64_t end;
+        uint32_t shard;
+        SubHeap *heap;
+    };
+
+    /** The calling thread's shard. */
+    Shard &homeShard() { return *shards_[homeShardIndex()]; }
+
+    /** Chain access by reference; caller holds the relevant locks. */
+    SubHeap &
+    heapAt(HeapRef ref)
+    {
+        return *shards_[ref.shard]->heaps[ref.heapIdx];
+    }
+
+    /**
+     * Find the region containing addr via the current registry
+     * snapshot. Lock-free (one acquire load + binary search); returns
+     * nullptr if addr is outside every sub-heap.
+     */
+    const HeapRegion *regionOf(uint64_t addr) const;
+
+    /**
+     * Append a fresh sub-heap to sh's chain and publish its region.
+     * Caller holds sh.mutex; takes regionsMutex_ internally.
+     */
+    SubHeap *addSubHeapLocked(Shard &sh, uint32_t shard_idx,
+                              size_t bytes);
+
+    /** Drop sh's placement caches. Caller holds sh.mutex. */
+    void invalidatePlacementLocked(Shard &sh);
+
+    /** Rebuild sh.densityOrder. Caller holds sh.mutex. */
+    void rebuildDensityOrderLocked(Shard &sh);
 
     /** The in-barrier move loop. Caller holds the world stopped. */
     DefragStats movePass(const PinnedSet &pinned, size_t max_bytes);
 
     /**
-     * Try to move one snapshotted candidate concurrently. Updates stats
-     * and budget; returns silently on stale candidates.
+     * Try to move one snapshotted candidate concurrently. Takes one
+     * shard lock at a time (source to validate and to free after
+     * commit, destination to claim/release). Updates stats and budget;
+     * returns silently on stale candidates.
      */
     void moveOneConcurrent(const Candidate &cand,
-                           const std::vector<size_t> &order,
+                           const std::vector<HeapRef> &order,
                            SubHeap::CompactionIndex &index,
-                           DefragStats &stats, size_t &budget);
-
-    /** Find the sub-heap containing addr; nullptr if none. */
-    SubHeap *heapOf(uint64_t addr);
-    const SubHeap *heapOf(uint64_t addr) const;
-
-    /** Allocate a defrag destination strictly "better" than src_addr. */
-    SubHeapAlloc destAlloc(uint32_t id, size_t size, uint64_t src_addr,
-                           SubHeap *src_heap,
-                           SubHeap::CompactionIndex &index);
+                           DestCache &cache, DefragStats &stats,
+                           size_t &budget);
 
     AddressSpace &space_;
     AnchorageConfig config_;
     Runtime *runtime_ = nullptr;
 
-    mutable std::mutex mutex_;
-    std::vector<std::unique_ptr<SubHeap>> heaps_;
-    /** Index of the sub-heap used for fresh allocations. */
-    size_t cursor_ = 0;
+    /** The allocation shards; sized at construction, never resized. */
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /**
+     * Address-range registry, published copy-on-write: readers load
+     * regions_ with one acquire load and binary-search the (sorted,
+     * immutable) snapshot; writers rebuild under regionsMutex_.
+     * Superseded snapshots stay owned by ownedRegionMaps_ (a racing
+     * reader can never observe a freed one) until a stop-the-world
+     * pass prunes them — the barrier is the one point where no reader
+     * can exist, bounding retention between defrag passes.
+     */
+    mutable std::mutex regionsMutex_;
+    std::atomic<const std::vector<HeapRegion> *> regions_{nullptr};
+    std::vector<std::unique_ptr<const std::vector<HeapRegion>>>
+        ownedRegionMaps_;
+
     /** Guards the single-mover invariant for campaigns. */
     std::atomic<bool> campaignActive_{false};
 };

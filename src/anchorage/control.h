@@ -29,12 +29,19 @@
 namespace alaska::anchorage
 {
 
-/** How the controller reclaims fragmentation (paper §4.3 vs §7). */
+/**
+ * How the controller reclaims fragmentation (paper §4.3 vs §7). Both
+ * models steal across allocation shards: a pass or campaign ranks every
+ * shard's sub-heaps by occupancy and evacuates sparse ones into denser
+ * ones anywhere (see AnchorageService).
+ */
 enum class DefragMode
 {
-    /** Classic Anchorage: every pass runs inside a barrier. */
+    /** Classic Anchorage: every pass runs inside a barrier (and holds
+     *  every shard lock while the world is stopped). */
     StopTheWorld,
-    /** Concurrent relocation campaigns only; the world never stops. */
+    /** Concurrent relocation campaigns only; the world never stops and
+     *  the mover holds at most one shard lock at a time. */
     Concurrent,
     /**
      * Concurrent campaigns first; if accessor aborts eat too much of a
@@ -43,7 +50,12 @@ enum class DefragMode
     Hybrid,
 };
 
-/** Operator-tunable control parameters. */
+/**
+ * Operator-tunable control parameters. Every knob is documented with
+ * operational guidance in docs/TUNING.md. Plain data: set the fields
+ * before constructing the controller and do not mutate them afterwards
+ * (the controller keeps a copy).
+ */
 struct ControlParams
 {
     /** Fragmentation hysteresis bounds [F_lb, F_ub]. */
@@ -73,7 +85,7 @@ struct ControlParams
     uint64_t abortFallbackMinAttempts = 32;
 };
 
-/** What a controller tick did. */
+/** What a controller tick did. Returned by value; no locking. */
 struct ControlAction
 {
     /** True if a defrag pass ran on this tick. */
@@ -95,29 +107,48 @@ struct ControlAction
     bool fellBack = false;
 };
 
-/** The two-state hysteresis controller. */
+/**
+ * The two-state hysteresis controller.
+ *
+ * Threading contract: the controller itself is NOT thread-safe — drive
+ * tick() from one thread at a time (a loop, or the concurrent-reloc
+ * daemon's background thread). The heap work a tick triggers is safe
+ * against concurrent mutators: the service's fragmentation metric and
+ * both pass kinds do their own per-shard locking. The alpha budget is
+ * computed from the whole (all-shard) extent, so one tick's work is
+ * bounded regardless of how many shards it steals across.
+ */
 class DefragController
 {
   public:
+    /** Hysteresis state (see the file comment). */
     enum class State
     {
         Waiting,
         Defragmenting,
     };
 
+    /**
+     * @param service the (sharded) heap to control; must outlive this
+     * @param clock   time source; virtual clocks need useModeledTime
+     * @param params  tuning; copied, later changes have no effect
+     */
     DefragController(AnchorageService &service, const Clock &clock,
                      ControlParams params = {});
 
     /**
      * Give the controller a chance to act. Cheap no-op before
-     * nextWake(). Call from a loop or a dedicated thread.
+     * nextWake(). Call from a loop or a dedicated thread — one caller
+     * at a time (see the class comment).
      */
     ControlAction tick();
 
     /** Absolute time of the next scheduled wake-up. */
     double nextWake() const { return nextWake_; }
 
+    /** Current hysteresis state. Read from the driving thread only. */
     State state() const { return state_; }
+    /** The (normalized) parameters the controller runs with. */
     const ControlParams &params() const { return params_; }
 
     /** Total time charged to defragmentation so far, seconds. */

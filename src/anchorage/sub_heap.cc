@@ -18,8 +18,9 @@ alignUp(uint64_t value, uint64_t alignment)
 
 } // anonymous namespace
 
-SubHeap::SubHeap(AddressSpace &space, size_t capacity)
-    : space_(space), capacity_(capacity)
+SubHeap::SubHeap(AddressSpace &space, size_t capacity,
+                 uint32_t owner_shard)
+    : space_(space), capacity_(capacity), ownerShard_(owner_shard)
 {
     base_ = space_.map(capacity);
     blocks_.reserve(1024);

@@ -57,7 +57,14 @@ class SubHeap
     /** Block alignment. */
     static constexpr uint64_t alignment = 16;
 
-    SubHeap(AddressSpace &space, size_t capacity);
+    /**
+     * @param space backing address space (thread-safe; see sim/)
+     * @param capacity region size in bytes
+     * @param owner_shard the Anchorage shard this sub-heap belongs to
+     *        (an inert tag for stats/asserts; 0 for unsharded users)
+     */
+    SubHeap(AddressSpace &space, size_t capacity,
+            uint32_t owner_shard = 0);
     ~SubHeap();
 
     SubHeap(const SubHeap &) = delete;
@@ -97,6 +104,9 @@ class SubHeap
      * @return bytes reclaimed from the extent.
      */
     size_t trimTop();
+
+    /** Anchorage shard that owns this sub-heap (tag; see constructor). */
+    uint32_t ownerShard() const { return ownerShard_; }
 
     /** Base address of the region. */
     uint64_t base() const { return base_; }
@@ -168,6 +178,7 @@ class SubHeap
     AddressSpace &space_;
     uint64_t base_ = 0;
     size_t capacity_ = 0;
+    uint32_t ownerShard_ = 0;
     size_t bump_ = 0;
     size_t liveBytes_ = 0;
     size_t freeBytes_ = 0;

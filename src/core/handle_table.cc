@@ -14,25 +14,25 @@ namespace
 {
 
 /**
- * Shard assignment: each thread is mapped to a shard once, on first
- * contact with any handle table. A round-robin counter spreads threads
- * perfectly across shards, unlike hashing the (often sequential)
- * std::thread::id values, which can collide badly.
+ * Thread ordinals: each thread gets one on first contact with any
+ * handle table (or any other shard-keyed subsystem). A round-robin
+ * counter spreads threads perfectly across shards, unlike hashing the
+ * (often sequential) std::thread::id values, which can collide badly.
  */
-std::atomic<uint32_t> gNextShardSeed{0};
-thread_local uint32_t tlsShardIndex = UINT32_MAX;
-
-uint32_t
-shardIndexForThisThread()
-{
-    if (tlsShardIndex == UINT32_MAX) {
-        tlsShardIndex = gNextShardSeed.fetch_add(1, std::memory_order_relaxed) &
-                        (HandleTable::numShards - 1);
-    }
-    return tlsShardIndex;
-}
+std::atomic<uint32_t> gNextThreadOrdinal{0};
+thread_local uint32_t tlsThreadOrdinal = UINT32_MAX;
 
 } // anonymous namespace
+
+uint32_t
+HandleTable::threadOrdinal()
+{
+    if (tlsThreadOrdinal == UINT32_MAX) {
+        tlsThreadOrdinal =
+            gNextThreadOrdinal.fetch_add(1, std::memory_order_relaxed);
+    }
+    return tlsThreadOrdinal;
+}
 
 HandleTable::HandleTable(uint32_t capacity) : capacity_(capacity)
 {
@@ -62,7 +62,7 @@ HandleTable::~HandleTable()
 HandleTable::Shard &
 HandleTable::homeShard()
 {
-    return shards_[shardIndexForThisThread()];
+    return shards_[threadOrdinal() & (numShards - 1)];
 }
 
 uint32_t

@@ -134,6 +134,16 @@ class HandleTable
     static constexpr uint32_t numShards = 16;
 
     /**
+     * Process-wide round-robin ordinal of the calling thread, assigned
+     * on first use and stable for the thread's lifetime. The table maps
+     * a thread to its free-list shard as ordinal mod numShards; other
+     * shard-keyed subsystems (the Anchorage service's per-shard
+     * sub-heap chains) key off the same ordinal so a thread's handle-ID
+     * shard and its heap shard coincide.
+     */
+    static uint32_t threadOrdinal();
+
+    /**
      * Reserve a table with the given capacity (entries). The memory is
      * mapped with MAP_NORESERVE so only touched pages consume RSS,
      * matching the paper's "mmap it in its entirety at startup" scheme.

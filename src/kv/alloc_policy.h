@@ -55,7 +55,16 @@ class LibcAlloc
     bool shouldMove(const void *) const { return false; }
 };
 
-/** Handle-based: the structure's pointers are Alaska handles. */
+/**
+ * Handle-based: the structure's pointers are Alaska handles.
+ *
+ * Shard affinity: halloc routes through the Anchorage service's
+ * per-shard sub-heap chains when Anchorage backs the runtime, so a KV
+ * store driven by one thread allocates entirely inside that thread's
+ * shard and never contends with stores on other threads; hfree from
+ * any thread finds the owning shard through the service's lock-free
+ * region registry.
+ */
 class AlaskaAlloc
 {
   public:
@@ -95,7 +104,9 @@ class AlaskaAlloc
  * translation while one does. Callers must bracket each KV operation
  * in a ConcurrentAccessScope (the multi-threaded YCSB driver and the
  * contention tests do); every pointer deref'd inside the scope stays
- * valid until the scope closes.
+ * valid until the scope closes. Same shard affinity as AlaskaAlloc:
+ * per-thread stores allocate shard-locally, which is what lets the
+ * 8-thread YCSB driver scale past the old single service lock.
  */
 class AlaskaConcurrentAlloc
 {

@@ -33,7 +33,18 @@
 namespace alaska
 {
 
-/** The background relocator. */
+/**
+ * The background relocator.
+ *
+ * Threading contract: start()/stop()/running() and every stats
+ * accessor may be called from any thread — the counters are snapshots
+ * published by the daemon thread under the daemon's own mutex. The
+ * hosted DefragController is touched only by the daemon thread, which
+ * is also the single driver of relocation campaigns (preserving the
+ * service's single-mover invariant). Campaigns themselves take the
+ * service's per-shard locks one at a time, so the daemon never blocks
+ * a mutator for longer than one shard-local operation.
+ */
 class ConcurrentRelocDaemon
 {
   public:
@@ -52,19 +63,20 @@ class ConcurrentRelocDaemon
     ConcurrentRelocDaemon &operator=(const ConcurrentRelocDaemon &) =
         delete;
 
-    /** Launch the daemon thread. */
+    /** Launch the daemon thread. Not reentrant; call once per stop(). */
     void start();
 
-    /** Stop and join the daemon thread; idempotent. */
+    /** Stop and join the daemon thread; idempotent, any thread. */
     void stop();
 
-    /** True between start() and stop(). */
+    /** True between start() and stop(). Any thread. */
     bool running() const;
 
-    /** Folded stats of every action the daemon has run so far. */
+    /** Folded stats of every action the daemon has run so far,
+     *  aggregated across all shards each action touched. Any thread. */
     anchorage::DefragStats totals() const;
 
-    /** Controller passes run so far. */
+    /** Controller passes run so far. Any thread. */
     size_t passes() const;
 
     /** Hybrid ticks that fell back to a stop-the-world pass. */

@@ -63,11 +63,10 @@ RealAddressSpace::raw(uint64_t addr)
 uint64_t
 PhantomAddressSpace::map(size_t bytes)
 {
-    const uint64_t base = next_;
     // Keep regions page-aligned and separated by a guard page.
     const size_t page = pages_.pageSize();
-    next_ += (bytes + page - 1) / page * page + page;
-    return base;
+    const uint64_t need = (bytes + page - 1) / page * page + page;
+    return next_.fetch_add(need, std::memory_order_relaxed);
 }
 
 void

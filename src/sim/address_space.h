@@ -21,16 +21,23 @@
 #ifndef ALASKA_SIM_ADDRESS_SPACE_H
 #define ALASKA_SIM_ADDRESS_SPACE_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 
 #include "sim/page_model.h"
 
 namespace alaska
 {
 
-/** Abstract heap address space with page accounting. */
+/**
+ * Abstract heap address space with page accounting.
+ *
+ * map/copy/touch/discard and rss() are safe to call concurrently: page
+ * accounting is striped inside PageModel, real mappings go through the
+ * (thread-safe) kernel, and phantom bases come from an atomic cursor.
+ * unmap() must not race accesses to the region being unmapped.
+ */
 class AddressSpace
 {
   public:
@@ -92,8 +99,9 @@ class PhantomAddressSpace : public AddressSpace
     void *raw(uint64_t /*addr*/) override { return nullptr; }
 
   private:
-    /** Next synthetic base; starts high and far from real mappings. */
-    uint64_t next_ = UINT64_C(0x100000000000);
+    /** Next synthetic base; starts high and far from real mappings.
+     *  Atomic so sharded allocators may map sub-heaps concurrently. */
+    std::atomic<uint64_t> next_{UINT64_C(0x100000000000)};
 };
 
 } // namespace alaska

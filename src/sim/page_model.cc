@@ -6,8 +6,11 @@ namespace alaska
 uint64_t
 PageModel::frameOf(uint64_t vpage) const
 {
-    auto it = aliases_.find(vpage);
-    return it == aliases_.end() ? vpage : it->second;
+    const AliasMap *aliases = aliases_.load(std::memory_order_acquire);
+    if (__builtin_expect(aliases == nullptr, 1))
+        return vpage;
+    auto it = aliases->find(vpage);
+    return it == aliases->end() ? vpage : it->second;
 }
 
 void
@@ -17,8 +20,12 @@ PageModel::touch(uint64_t addr, size_t len)
         return;
     const uint64_t first = addr / pageSize_;
     const uint64_t last = (addr + len - 1) / pageSize_;
-    for (uint64_t p = first; p <= last; p++)
-        resident_.insert(frameOf(p));
+    for (uint64_t p = first; p <= last; p++) {
+        const uint64_t frame = frameOf(p);
+        Stripe &stripe = stripeOf(frame);
+        std::lock_guard<std::mutex> guard(stripe.mutex);
+        stripe.resident.insert(frame);
+    }
 }
 
 void
@@ -29,31 +36,69 @@ PageModel::discard(uint64_t addr, size_t len)
     // Only pages fully inside the range are released.
     const uint64_t first = (addr + pageSize_ - 1) / pageSize_;
     const uint64_t end = (addr + len) / pageSize_;
-    for (uint64_t p = first; p < end; p++)
-        resident_.erase(frameOf(p));
+    for (uint64_t p = first; p < end; p++) {
+        const uint64_t frame = frameOf(p);
+        Stripe &stripe = stripeOf(frame);
+        std::lock_guard<std::mutex> guard(stripe.mutex);
+        stripe.resident.erase(frame);
+    }
 }
 
 void
 PageModel::alias(uint64_t vpage_addr, uint64_t target_page_addr)
 {
+    std::lock_guard<std::mutex> write_guard(aliasWriteMutex_);
     const uint64_t vpage = vpage_addr / pageSize_;
     const uint64_t target = frameOf(target_page_addr / pageSize_);
     // Release the frame previously backing vpage.
-    resident_.erase(frameOf(vpage));
-    aliases_[vpage] = target;
+    const uint64_t old_frame = frameOf(vpage);
+    {
+        Stripe &stripe = stripeOf(old_frame);
+        std::lock_guard<std::mutex> guard(stripe.mutex);
+        stripe.resident.erase(old_frame);
+    }
+    const AliasMap *current = aliases_.load(std::memory_order_relaxed);
+    auto next = current ? std::make_unique<AliasMap>(*current)
+                        : std::make_unique<AliasMap>();
+    (*next)[vpage] = target;
+    aliases_.store(next.get(), std::memory_order_release);
+    // alias() requires quiescence (no concurrent PageModel calls), so
+    // the superseded snapshot has no readers and dies here.
+    ownedAliasMap_ = std::move(next);
+}
+
+size_t
+PageModel::residentPages() const
+{
+    size_t total = 0;
+    for (const Stripe &stripe : stripes_) {
+        std::lock_guard<std::mutex> guard(stripe.mutex);
+        total += stripe.resident.size();
+    }
+    return total;
 }
 
 bool
 PageModel::isResident(uint64_t addr) const
 {
-    return resident_.count(frameOf(addr / pageSize_)) > 0;
+    const uint64_t frame = frameOf(addr / pageSize_);
+    Stripe &stripe = stripeOf(frame);
+    std::lock_guard<std::mutex> guard(stripe.mutex);
+    return stripe.resident.count(frame) > 0;
 }
 
 void
 PageModel::clear()
 {
-    resident_.clear();
-    aliases_.clear();
+    std::lock_guard<std::mutex> write_guard(aliasWriteMutex_);
+    for (Stripe &stripe : stripes_) {
+        std::lock_guard<std::mutex> guard(stripe.mutex);
+        stripe.resident.clear();
+    }
+    // clear() shares alias()'s quiescence requirement, so the map can
+    // be dropped outright; nullptr restores the no-aliases fast path.
+    aliases_.store(nullptr, std::memory_order_release);
+    ownedAliasMap_.reset();
 }
 
 } // namespace alaska

@@ -10,15 +10,29 @@
  * produces exact, deterministic RSS numbers. Real-backed address spaces
  * additionally perform the matching mmap/madvise calls so the behaviour
  * stays honest.
+ *
+ * Thread safety: touch(), discard(), and the queries may be called
+ * concurrently — the resident set is striped over cache-line-padded
+ * mutexes selected by page frame, so touches from threads working in
+ * different heap regions rarely share a lock. This matters because the
+ * sharded Anchorage service (anchorage/anchorage_service.h) drives
+ * touches from every shard concurrently, and concurrent relocation
+ * campaigns copy (and therefore touch) outside any heap lock. alias()
+ * requires full quiescence (no concurrent PageModel call of any kind)
+ * — Mesh, its only caller, runs single-threaded.
  */
 
 #ifndef ALASKA_SIM_PAGE_MODEL_H
 #define ALASKA_SIM_PAGE_MODEL_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace alaska
 {
@@ -28,6 +42,9 @@ class PageModel
 {
   public:
     explicit PageModel(size_t page_size = 4096) : pageSize_(page_size) {}
+
+    PageModel(const PageModel &) = delete;
+    PageModel &operator=(const PageModel &) = delete;
 
     /** Page size in bytes. */
     size_t pageSize() const { return pageSize_; }
@@ -45,15 +62,19 @@ class PageModel
      * Mesh-style aliasing: virtual page vpage is remapped to the
      * physical frame backing target. vpage's own frame (if any) is
      * freed; future touches of either virtual page land on the shared
-     * frame.
+     * frame. Requires external quiescence: no concurrent PageModel
+     * call of any kind may be in flight (its only caller, the Mesh
+     * simulator, is single-threaded). That contract is what lets the
+     * superseded alias snapshot be freed immediately instead of
+     * retained forever.
      */
     void alias(uint64_t vpage_addr, uint64_t target_page_addr);
 
     /** Resident bytes (distinct physical frames times page size). */
-    size_t rss() const { return resident_.size() * pageSize_; }
+    size_t rss() const { return residentPages() * pageSize_; }
 
     /** Number of distinct resident physical frames. */
-    size_t residentPages() const { return resident_.size(); }
+    size_t residentPages() const;
 
     /** True iff the page containing addr is resident. */
     bool isResident(uint64_t addr) const;
@@ -62,14 +83,46 @@ class PageModel
     void clear();
 
   private:
+    /** Stripe count for the resident set; power of two. */
+    static constexpr uint64_t numStripes = 16;
+
+    /**
+     * One resident-set stripe, cache-line padded so concurrent touches
+     * from threads in different stripes never share a line.
+     */
+    struct alignas(64) Stripe
+    {
+        mutable std::mutex mutex;
+        std::unordered_set<uint64_t> resident;
+    };
+
+    using AliasMap = std::unordered_map<uint64_t, uint64_t>;
+
+    Stripe &
+    stripeOf(uint64_t frame) const
+    {
+        return stripes_[frame & (numStripes - 1)];
+    }
+
     /** Map a virtual page index to its physical frame index. */
     uint64_t frameOf(uint64_t vpage) const;
 
     size_t pageSize_;
-    /** Resident physical frames (canonical page indices). */
-    std::unordered_set<uint64_t> resident_;
-    /** Virtual page -> physical frame, for aliased pages only. */
-    std::unordered_map<uint64_t, uint64_t> aliases_;
+    mutable Stripe stripes_[numStripes];
+
+    /**
+     * Virtual page -> physical frame, for aliased pages only.
+     * Published copy-on-write: frameOf() loads the current snapshot
+     * with one acquire load (nullptr, the common case, means "no
+     * aliases"), so the touch fast path takes no alias lock. alias()
+     * rebuilds and republishes under aliasWriteMutex_, freeing the
+     * superseded snapshot immediately — safe because alias() requires
+     * quiescence (see its comment), so no reader can hold the old
+     * pointer.
+     */
+    std::atomic<const AliasMap *> aliases_{nullptr};
+    std::mutex aliasWriteMutex_;
+    std::unique_ptr<const AliasMap> ownedAliasMap_;
 };
 
 } // namespace alaska
