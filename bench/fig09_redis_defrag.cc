@@ -69,6 +69,12 @@ main()
         PhantomAddressSpace space;
         anchorage::ControlParams control;
         control.useModeledTime = true;
+        // Monolithic passes: this figure reproduces the paper's §4.3
+        // controller, and the harness only drives maintain() at 10 Hz
+        // — batched 1 MiB barriers would be clipped to one per tick
+        // and starve the alpha budget. The batched-pause story lives
+        // in fig12 and tab_ycsb_latency, which run real clocks.
+        control.batchBytes = 0;
         anchorage::AnchorageAllocModel model(space, clock, control);
         curves.push_back(runFragConfig(
             "anchorage", model, workload_config, timeline, clock,

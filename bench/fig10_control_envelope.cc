@@ -49,6 +49,11 @@ main()
             params.fLb = 1.10;
             params.fUb = 1.30;
             params.useModeledTime = true;
+            // Monolithic passes: the envelope sweeps alpha, and the
+            // 10 Hz maintain() hook would clip batched passes to one
+            // small barrier per tick, flattening exactly the knob
+            // this figure sweeps (see fig09 for the same reasoning).
+            params.batchBytes = 0;
             static char labels[9][64];
             static int next = 0;
             std::snprintf(labels[next], sizeof(labels[next]),

@@ -79,6 +79,10 @@ main()
         control.useModeledTime = true;
         control.oUb = 0.05; // the paper's 5% overhead maximum
         control.alpha = 0.25;
+        // Monolithic passes on purpose: this figure reproduces the
+        // paper's alpha-mispredicts-at-scale pause story; the batched
+        // bound that fixes it is fig12's subject.
+        control.batchBytes = 0;
         // Tighter fragmentation goals so convergence completes within
         // the (scaled) window; the paper's run is 2x longer.
         control.fUb = 1.25;

@@ -21,8 +21,11 @@ ctest --output-on-failure -j "$(nproc)"
 # proves the harnesses still run end to end (the multi-threaded YCSB
 # smoke covers the concurrent-relocation daemon path). The YCSB smoke
 # runs once sharded (shards=8) and once with the single-shard
-# configuration so neither allocation path can bit-rot.
+# configuration so neither allocation path can bit-rot. The fig12
+# smoke additionally asserts the batched-defrag invariant: no single
+# barrier of a batched pass moves more than its batch budget.
 ./handle_alloc_bench > /dev/null
 ./tab_ycsb_latency --smoke --shards=8 > /dev/null
 ./tab_ycsb_latency --smoke --multi-only --shards=1 > /dev/null
+./fig12_memcached_pauses --smoke > /dev/null
 echo "bench smoke OK"

@@ -321,11 +321,13 @@ AnchorageService::shardStats(size_t shard) const
 DefragStats
 AnchorageService::defrag(size_t max_bytes)
 {
-    ALASKA_ASSERT(runtime_ != nullptr, "service not attached");
-    DefragStats stats;
-    runtime_->barrier([&](const PinnedSet &pinned) {
-        stats = movePass(pinned, max_bytes);
-    });
+    // The monolithic barrier is the degenerate batched pass: one step
+    // with an unbounded batch drives the pass to its end state inside
+    // a single barrier.
+    BatchedPass pass = beginBatchedDefrag(max_bytes);
+    DefragStats stats = pass.step(SIZE_MAX);
+    ALASKA_ASSERT(pass.done(),
+                  "an unbatched pass must finish in one barrier");
     return stats;
 }
 
@@ -342,43 +344,124 @@ AnchorageService::defragFully()
     return total;
 }
 
-DefragStats
-AnchorageService::movePass(const PinnedSet &pinned, size_t max_bytes)
+// --- batched passes (paper §6 pause-time story) ----------------------------
+
+AnchorageService::BatchedPass::BatchedPass(AnchorageService &service,
+                                           size_t max_bytes,
+                                           size_t shard_cap)
+    : service_(&service), budget_(max_bytes > 0 ? max_bytes : 1),
+      shardCap_(shard_cap > 0 ? shard_cap : 1),
+      shardMoved_(service.shards_.size(), 0)
 {
-    Stopwatch watch;
+}
+
+DefragStats
+AnchorageService::BatchedPass::step(size_t batch_bytes)
+{
+    // 0 means unbatched, matching ControlParams::batchBytes — without
+    // this a zero budget would run a barrier that can make no progress.
+    return service_->batchBarrier(*this,
+                                  batch_bytes > 0 ? batch_bytes
+                                                  : SIZE_MAX);
+}
+
+AnchorageService::BatchedPass
+AnchorageService::beginBatchedDefrag(size_t max_bytes,
+                                     size_t shard_cap_bytes)
+{
+    return BatchedPass(*this, max_bytes, shard_cap_bytes);
+}
+
+DefragStats
+AnchorageService::batchBarrier(BatchedPass &pass, size_t batch_bytes)
+{
+    ALASKA_ASSERT(runtime_ != nullptr, "service not attached");
     DefragStats stats;
-    // The world is stopped, so no registered thread holds a shard lock;
-    // still take every lock (index order) so unregistered allocator
-    // threads cannot race the move loop either.
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(shards_.size());
-    for (auto &sh : shards_)
-        locks.emplace_back(sh->mutex);
+    if (pass.done_)
+        return stats;
+    runtime_->barrier([&](const PinnedSet &pinned) {
+        Stopwatch watch;
+        // The world is stopped, so no registered thread holds a shard
+        // lock; still take every lock (index order) so unregistered
+        // allocator threads cannot race the move loop either.
+        std::vector<std::unique_lock<std::mutex>> locks;
+        locks.reserve(shards_.size());
+        for (auto &sh : shards_)
+            locks.emplace_back(sh->mutex);
+        moveBatchLocked(pass, pinned, batch_bytes, stats);
+        stats.measuredSec = watch.elapsedSec();
+        stats.modeledSec = config_.modelPauseFloor +
+                           static_cast<double>(stats.movedBytes) /
+                               config_.modelBandwidth;
+        stats.barriers = 1;
+        stats.maxBarrierBytes = stats.movedBytes;
+        stats.maxBarrierSec = stats.measuredSec;
+        stats.maxBarrierModeledSec = stats.modeledSec;
+    });
+    pass.totals_.accumulate(stats);
+    return stats;
+}
 
-    // Rank every sub-heap of every shard emptiest-first: cheap-to-empty
-    // heaps are sources; denser heaps (later ranks) are destinations.
-    // The ranking is global, which is what makes the pass a cross-shard
-    // stealer — a sparse shard's chain evacuates into any denser
-    // shard's holes.
-    std::vector<HeapRef> order;
-    for (uint32_t s = 0; s < shards_.size(); s++) {
-        for (uint32_t h = 0; h < shards_[s]->heaps.size(); h++)
-            order.push_back(HeapRef{s, h});
+void
+AnchorageService::moveBatchLocked(BatchedPass &pass,
+                                  const PinnedSet &pinned,
+                                  size_t batch_bytes, DefragStats &stats)
+{
+    if (!pass.ranked_) {
+        // First barrier: rank every sub-heap of every shard
+        // emptiest-first. Cheap-to-empty heaps are sources; denser
+        // heaps (later ranks) are destinations. The ranking is global,
+        // which is what makes the pass a cross-shard stealer — a
+        // sparse shard's chain evacuates into any denser shard's
+        // holes — and it is ranked once per pass, so every barrier of
+        // the pass works the same plan a monolithic barrier would.
+        for (uint32_t s = 0; s < shards_.size(); s++) {
+            for (uint32_t h = 0; h < shards_[s]->heaps.size(); h++)
+                pass.order_.push_back(HeapRef{s, h});
+        }
+        std::stable_sort(pass.order_.begin(), pass.order_.end(),
+                         [&](HeapRef a, HeapRef b) {
+                             return occupancyOf(heapAt(a)) <
+                                    occupancyOf(heapAt(b));
+                         });
+        pass.ranked_ = true;
     }
-    std::stable_sort(order.begin(), order.end(),
-                     [&](HeapRef a, HeapRef b) {
-                         return occupancyOf(heapAt(a)) <
-                                occupancyOf(heapAt(b));
-                     });
 
-    size_t budget = max_bytes;
-    for (size_t rank = 0; rank < order.size() && budget > 0; rank++) {
-        SubHeap &src = heapAt(order[rank]);
+    // Shards whose densities this barrier changes (move sources and
+    // destinations, trimmed heaps): only their placement caches need
+    // dropping, so a 16-shard heap does not pay 16 cache rebuilds per
+    // 256 KiB barrier on the mutator's alloc-miss path.
+    std::vector<bool> touched(shards_.size(), false);
+
+    size_t barrier_budget = std::min(batch_bytes, pass.budget_);
+    while (pass.rank_ < pass.order_.size() && pass.budget_ > 0 &&
+           barrier_budget > 0) {
+        const HeapRef ref = pass.order_[pass.rank_];
+        size_t &shard_moved = pass.shardMoved_[ref.shard];
+        if (shard_moved >= pass.shardCap_) {
+            // This shard's sources spent their share of the pass;
+            // skipping the rest keeps one hot shard from starving
+            // every other shard's reclamation.
+            pass.rank_++;
+            pass.cursor_ = -1;
+            continue;
+        }
+        SubHeap &src = heapAt(ref);
         auto &blocks = src.blocks();
-        SubHeap::CompactionIndex index = src.buildCompactionIndex();
-        // Walk from the top of the sub-heap downward (§4.3).
-        for (int i = static_cast<int>(blocks.size()) - 1;
-             i >= 0 && budget > 0; i--) {
+        if (pass.cursor_ < 0) {
+            // Entering this source fresh: snapshot its holes and start
+            // at the top of its extent (§4.3 walks downward).
+            pass.index_ = src.buildCompactionIndex();
+            pass.cursor_ = static_cast<int>(blocks.size()) - 1;
+        } else if (pass.cursor_ >= static_cast<int>(blocks.size())) {
+            // A trim between barriers popped trailing blocks past the
+            // saved cursor; the blocks below it kept their indices.
+            pass.cursor_ = static_cast<int>(blocks.size()) - 1;
+        }
+        int i = pass.cursor_;
+        for (; i >= 0 && barrier_budget > 0 &&
+               shard_moved < pass.shardCap_;
+             i--) {
             if (blocks[i].isFree())
                 continue;
             const Block blk = blocks[i];
@@ -392,13 +475,14 @@ AnchorageService::movePass(const PinnedSet &pinned, size_t max_bytes)
             // in the global ranking, densest last.
             SubHeapAlloc dest{false, 0};
             const int dest_idx =
-                src.popLowestFreeBelow(index, blk.size, blk.addr);
+                src.popLowestFreeBelow(pass.index_, blk.size, blk.addr);
             if (dest_idx >= 0) {
                 src.claimBlock(dest_idx, blk.handleId, blk.size);
                 dest = {true, src.blocks()[dest_idx].addr};
             } else {
-                for (size_t r2 = order.size(); r2-- > rank + 1;) {
-                    SubHeap &cand = heapAt(order[r2]);
+                for (size_t r2 = pass.order_.size();
+                     r2-- > pass.rank_ + 1;) {
+                    SubHeap &cand = heapAt(pass.order_[r2]);
                     // Never bump an empty heap: occupancyOf ranks
                     // extent-0 heaps densest (a source-selection
                     // convention), but filling one only relocates
@@ -408,8 +492,10 @@ AnchorageService::movePass(const PinnedSet &pinned, size_t max_bytes)
                     if (cand.extent() == 0)
                         continue;
                     dest = cand.alloc(blk.handleId, blk.size);
-                    if (dest.ok)
+                    if (dest.ok) {
+                        touched[pass.order_[r2].shard] = true;
                         break;
+                    }
                 }
             }
             if (!dest.ok)
@@ -424,17 +510,66 @@ AnchorageService::movePass(const PinnedSet &pinned, size_t max_bytes)
             src.freeBlockAt(i);
             stats.movedObjects++;
             stats.movedBytes += blk.size;
-            budget -= std::min<size_t>(budget, blk.size);
+            shard_moved += blk.size;
+            touched[ref.shard] = true;
+            barrier_budget -=
+                std::min<size_t>(barrier_budget, blk.size);
+            pass.budget_ -= std::min<size_t>(pass.budget_, blk.size);
         }
-        stats.reclaimedBytes += src.trimTop();
+        if (i < 0 || shard_moved >= pass.shardCap_) {
+            // Walked off this source (or capped its shard): reclaim
+            // its tail now so reclamation keeps pace with the walk.
+            const size_t trimmed = src.trimTop();
+            stats.reclaimedBytes += trimmed;
+            if (trimmed > 0)
+                touched[ref.shard] = true;
+            pass.rank_++;
+            pass.cursor_ = -1;
+        } else {
+            // Batch budget exhausted mid-source: resume here next
+            // barrier. The hole index stays valid across the gap —
+            // its entries are validated on pop. Trim the evacuated
+            // tail before the world resumes, or a mutator's LIFO
+            // free-list reuse between barriers would hand the
+            // just-evacuated blocks right back and strand the extent
+            // above the bump forever (the cursor clamp on re-entry
+            // absorbs the popped trailing indices).
+            const size_t trimmed = src.trimTop();
+            stats.reclaimedBytes += trimmed;
+            if (trimmed > 0)
+                touched[ref.shard] = true;
+            pass.cursor_ = i;
+        }
     }
 
-    // Give every sub-heap's trailing pages back to the kernel, and drop
-    // the placement caches the pass invalidated.
+    if (pass.rank_ >= pass.order_.size() || pass.budget_ == 0) {
+        pass.done_ = true;
+        // The final sweep trims every shard's heaps, so every shard's
+        // placement caches are stale regardless of `touched`.
+        finishPassLocked(stats);
+        for (auto &sh : shards_)
+            invalidatePlacementLocked(*sh);
+        return;
+    }
+
+    // Densities shifted under this barrier's moves and trims: drop the
+    // placement caches of the shards it touched before the mutators
+    // resume (they allocate between barriers).
+    for (size_t s = 0; s < shards_.size(); s++) {
+        if (touched[s])
+            invalidatePlacementLocked(*shards_[s]);
+    }
+}
+
+void
+AnchorageService::finishPassLocked(DefragStats &stats)
+{
+    // Give every sub-heap's trailing pages back to the kernel — this
+    // also catches destination heaps whose tails the moves freed and
+    // sub-heaps created after the pass was ranked.
     for (auto &sh : shards_) {
         for (auto &heap : sh->heaps)
             stats.reclaimedBytes += heap->trimTop();
-        invalidatePlacementLocked(*sh);
     }
 
     // Retire superseded region snapshots. Safe exactly here: the world
@@ -444,20 +579,12 @@ AnchorageService::movePass(const PinnedSet &pinned, size_t max_bytes)
     // so no addSubHeapLocked() is mid-publish. Without this pruning a
     // long-running service retains one snapshot per sub-heap ever
     // created — quadratic bytes in the sub-heap count.
-    {
-        std::lock_guard<std::mutex> guard(regionsMutex_);
-        const auto *current = regions_.load(std::memory_order_relaxed);
-        auto keep = std::remove_if(
-            ownedRegionMaps_.begin(), ownedRegionMaps_.end(),
-            [&](const auto &snap) { return snap.get() != current; });
-        ownedRegionMaps_.erase(keep, ownedRegionMaps_.end());
-    }
-
-    stats.measuredSec = watch.elapsedSec();
-    stats.modeledSec =
-        config_.modelPauseFloor +
-        static_cast<double>(stats.movedBytes) / config_.modelBandwidth;
-    return stats;
+    std::lock_guard<std::mutex> guard(regionsMutex_);
+    const auto *current = regions_.load(std::memory_order_relaxed);
+    auto keep = std::remove_if(
+        ownedRegionMaps_.begin(), ownedRegionMaps_.end(),
+        [&](const auto &snap) { return snap.get() != current; });
+    ownedRegionMaps_.erase(keep, ownedRegionMaps_.end());
 }
 
 // --- concurrent relocation campaigns (paper §7) ----------------------------

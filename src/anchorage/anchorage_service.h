@@ -33,6 +33,7 @@
 #ifndef ALASKA_ANCHORAGE_ANCHORAGE_SERVICE_H
 #define ALASKA_ANCHORAGE_ANCHORAGE_SERVICE_H
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -104,6 +105,20 @@ struct DefragStats
     /** Moves abandoned for lack of a strictly better destination. */
     uint64_t noSpace = 0;
 
+    // --- per-barrier pause accounting (batched passes) -----------------
+    /**
+     * Stop-the-world barriers this action ran (0 for pure campaigns).
+     * A batched pass accumulates one per step, so honest per-pause
+     * numbers are max fields below, not the folded pauseSec sum.
+     */
+    uint64_t barriers = 0;
+    /** Bytes moved inside the single largest barrier. */
+    uint64_t maxBarrierBytes = 0;
+    /** Longest single barrier, measured wall seconds. */
+    double maxBarrierSec = 0;
+    /** Longest single barrier under the bandwidth model. */
+    double maxBarrierModeledSec = 0;
+
     /** Fraction of attempts that accessors aborted; 0 if none tried. */
     double
     abortRate() const
@@ -128,6 +143,11 @@ struct DefragStats
         committed += other.committed;
         aborted += other.aborted;
         noSpace += other.noSpace;
+        barriers += other.barriers;
+        maxBarrierBytes = std::max(maxBarrierBytes, other.maxBarrierBytes);
+        maxBarrierSec = std::max(maxBarrierSec, other.maxBarrierSec);
+        maxBarrierModeledSec =
+            std::max(maxBarrierModeledSec, other.maxBarrierModeledSec);
     }
 };
 
@@ -206,9 +226,103 @@ class AnchorageService : public Service
      * alpha * extent). Pinned objects are never moved. Inside the
      * barrier the pass holds every shard lock and may steal across
      * shards: sparse sub-heaps anywhere are evacuated into denser
-     * sub-heaps anywhere.
+     * sub-heaps anywhere. Implemented as a batched pass driven to
+     * completion inside one barrier; use beginBatchedDefrag() to bound
+     * each individual pause instead.
      */
     DefragStats defrag(size_t max_bytes);
+
+  private:
+    /** Identifies one sub-heap: shard index + index in its chain. */
+    struct HeapRef
+    {
+        uint32_t shard;
+        uint32_t heapIdx;
+    };
+
+  public:
+    /**
+     * A resumable, budget-bounded defragmentation pass (the paper §6
+     * pause-time story at larger heaps): one logical pass — same global
+     * ranking, same end state as a monolithic defrag(max_bytes) barrier
+     * — split into a sequence of short barriers, each moving at most
+     * the step's batch budget. The ranking, the per-source cursor, and
+     * the source's hole index are carried across barriers; mutators run
+     * freely between steps, and anything they invalidate (trimmed
+     * tails, reused holes) is revalidated when the next barrier enters.
+     * Sub-heaps a mutator creates mid-pass are not ranked as sources
+     * until the next pass, but their tails are still trimmed by the
+     * final sweep.
+     *
+     * Driving contract: one defrag driver at a time (the same
+     * single-driver rule as DefragController); the pass must not
+     * outlive its service. Dropping an unfinished pass is safe — the
+     * heap is consistent after every barrier; only the final
+     * trim-everything sweep is skipped, and the next pass performs it.
+     */
+    class BatchedPass
+    {
+      public:
+        /** True once the pass reached its end state (budget spent, or
+         *  every ranked source walked/capped) and ran its final sweep. */
+        bool done() const { return done_; }
+
+        /**
+         * Run one barrier moving at most batch_bytes (saturated by the
+         * pass's remaining budget; 0 = unbatched, the whole remaining
+         * budget in this barrier). No-op once done(). Returns this
+         * barrier's stats (barriers == 1, max* fields = this barrier).
+         */
+        DefragStats step(size_t batch_bytes);
+
+        /** Stats accumulated over every barrier run so far. */
+        const DefragStats &totals() const { return totals_; }
+
+        /** Remaining byte budget of the pass. */
+        size_t remainingBudget() const { return budget_; }
+
+        /** Bytes moved out of each shard's sources so far — the
+         *  accounting behind the per-shard cap. Indexed by shard. */
+        const std::vector<size_t> &shardMovedBytes() const
+        {
+            return shardMoved_;
+        }
+
+      private:
+        friend class AnchorageService;
+        BatchedPass(AnchorageService &service, size_t max_bytes,
+                    size_t shard_cap);
+
+        AnchorageService *service_;
+        /** Remaining pass-wide move budget, bytes. */
+        size_t budget_;
+        /** Max bytes any one shard's sources may contribute. */
+        size_t shardCap_;
+        std::vector<size_t> shardMoved_;
+        /** Global emptiest-first source ranking; built in barrier #1. */
+        std::vector<HeapRef> order_;
+        bool ranked_ = false;
+        bool done_ = false;
+        /** Rank of the source currently being walked. */
+        size_t rank_ = 0;
+        /** Next block index to examine in that source (top-down walk);
+         *  -1 = enter the source fresh at the next barrier. */
+        int cursor_ = -1;
+        /** Hole index of the current source (entries validated on pop,
+         *  so it survives mutator interleavings between barriers). */
+        SubHeap::CompactionIndex index_;
+        DefragStats totals_;
+    };
+
+    /**
+     * Begin a batched stop-the-world pass moving at most max_bytes in
+     * total, with each shard's sources capped at shard_cap_bytes so one
+     * hot shard cannot starve another's reclamation within the pass
+     * (SIZE_MAX disables the cap). Runs no barrier itself; drive the
+     * returned pass with step().
+     */
+    BatchedPass beginBatchedDefrag(size_t max_bytes,
+                                   size_t shard_cap_bytes = SIZE_MAX);
 
     /** Full defragmentation: repeat passes until no progress. */
     DefragStats defragFully();
@@ -266,13 +380,6 @@ class AnchorageService : public Service
     ShardStats shardStats(size_t shard) const;
 
   private:
-    /** Identifies one sub-heap: shard index + index in its chain. */
-    struct HeapRef
-    {
-        uint32_t shard;
-        uint32_t heapIdx;
-    };
-
     /** One relocation candidate snapshotted by a campaign. */
     struct Candidate
     {
@@ -363,8 +470,19 @@ class AnchorageService : public Service
     /** Rebuild sh.densityOrder. Caller holds sh.mutex. */
     void rebuildDensityOrderLocked(Shard &sh);
 
-    /** The in-barrier move loop. Caller holds the world stopped. */
-    DefragStats movePass(const PinnedSet &pinned, size_t max_bytes);
+    /** Run one barrier of a batched pass: stop the world, take every
+     *  shard lock, run the move loop, account per-barrier stats. */
+    DefragStats batchBarrier(BatchedPass &pass, size_t batch_bytes);
+
+    /** The in-barrier move loop of one batched step. Caller holds the
+     *  world stopped and every shard lock. */
+    void moveBatchLocked(BatchedPass &pass, const PinnedSet &pinned,
+                         size_t batch_bytes, DefragStats &stats);
+
+    /** Pass epilogue: trim every sub-heap's tail and prune superseded
+     *  region snapshots. Caller holds the world stopped and every
+     *  shard lock (the one point with provably no registry readers). */
+    void finishPassLocked(DefragStats &stats);
 
     /**
      * Try to move one snapshotted candidate concurrently. Takes one

@@ -1,5 +1,7 @@
 #include "anchorage/control.h"
 
+#include <algorithm>
+
 namespace alaska::anchorage
 {
 
@@ -37,53 +39,119 @@ DefragController::runPass()
     ControlAction action;
     action.defragged = true;
 
-    // alpha limits the fraction of the heap moved in one pass — a pause
-    // bound in StopTheWorld mode, a campaign budget otherwise.
-    const auto budget = static_cast<size_t>(
-        params_.alpha * static_cast<double>(service_.heapExtent()));
-    const size_t pass_budget = budget > 0 ? budget : 1;
+    // alpha limits the fraction of the heap moved in one pass — the
+    // pass-wide budget in StopTheWorld mode (spread over batched
+    // barriers), a campaign budget otherwise. Computed lazily:
+    // heapExtent() sweeps every shard lock, and a mid-pass tick does
+    // not need it (the in-progress pass carries its own budget).
+    auto passBudgetNow = [&] {
+        const auto budget = static_cast<size_t>(
+            params_.alpha * static_cast<double>(service_.heapExtent()));
+        return budget > 0 ? budget : size_t{1};
+    };
+    const size_t batch =
+        params_.batchBytes > 0 ? params_.batchBytes : SIZE_MAX;
+    auto shardCapFor = [&](size_t total) {
+        if (params_.shardBudgetFraction >= 1.0)
+            return SIZE_MAX;
+        const auto cap = static_cast<size_t>(
+            params_.shardBudgetFraction * static_cast<double>(total));
+        return cap > 0 ? cap : size_t{1};
+    };
 
     auto chargeOf = [&](const DefragStats &s) {
         return params_.useModeledTime ? s.modeledSec : s.measuredSec;
     };
+    auto barrierChargeOf = [&](const DefragStats &s) {
+        return params_.useModeledTime ? s.maxBarrierModeledSec
+                                      : s.maxBarrierSec;
+    };
+
+    // True once the tick's logical pass has reached its end state; a
+    // mid-pass tick stays in Defragmenting without consulting the
+    // hysteresis band (the pass finishes what it budgeted).
+    bool pass_done = true;
+    bool no_progress = false;
 
     if (params_.mode == DefragMode::StopTheWorld) {
-        action.stats = service_.defrag(pass_budget);
+        // One barrier of the (possibly in-progress) batched pass per
+        // tick: the overhead sleep below paces the barriers, so the
+        // pause spreading is real wall-clock spreading, not
+        // back-to-back barriers.
+        if (!stwPass_ || stwPass_->done()) {
+            const size_t pass_budget = passBudgetNow();
+            stwPass_.emplace(service_.beginBatchedDefrag(
+                pass_budget, shardCapFor(pass_budget)));
+        }
+        action.stats = stwPass_->step(batch);
         action.pauseSec = chargeOf(action.stats);
         action.costSec = action.pauseSec;
+        pass_done = stwPass_->done();
+        if (pass_done) {
+            no_progress = stwPass_->totals().movedBytes == 0 &&
+                          stwPass_->totals().reclaimedBytes == 0;
+            stwPass_.reset();
+        }
     } else {
+        const size_t pass_budget = passBudgetNow();
         action.stats = service_.relocateCampaign(pass_budget);
         action.costSec = chargeOf(action.stats);
         // Abort-rate feedback (Hybrid): when accessors abort most of a
-        // campaign, the hot remainder is cheaper to move inside one
-        // short barrier than to retry concurrently forever.
+        // campaign, the hot remainder is cheaper to move inside short
+        // barriers than to retry concurrently forever. The fallback
+        // spends only what the campaign left of the pass budget — the
+        // campaign's moved bytes are deducted, so one Hybrid tick can
+        // never move more than alpha × extent in total.
         if (params_.mode == DefragMode::Hybrid &&
             action.stats.attempts >= params_.abortFallbackMinAttempts &&
             action.stats.abortRate() > params_.abortFallbackRate) {
-            const DefragStats stw = service_.defrag(pass_budget);
-            action.pauseSec = chargeOf(stw);
-            action.costSec += action.pauseSec;
-            action.stats.accumulate(stw);
-            action.fellBack = true;
-            fallbacks_++;
+            const size_t moved = action.stats.movedBytes;
+            const size_t remainder =
+                pass_budget > moved ? pass_budget - moved : 0;
+            if (remainder > 0) {
+                AnchorageService::BatchedPass fallback =
+                    service_.beginBatchedDefrag(remainder,
+                                                shardCapFor(remainder));
+                DefragStats stw;
+                while (!fallback.done())
+                    stw.accumulate(fallback.step(batch));
+                action.pauseSec = chargeOf(stw);
+                action.costSec += action.pauseSec;
+                action.stats.accumulate(stw);
+                action.fellBack = true;
+                fallbacks_++;
+            }
         }
+        no_progress = action.stats.movedBytes == 0 &&
+                      action.stats.reclaimedBytes == 0;
     }
 
     totalDefragSec_ += action.costSec;
     totalPauseSec_ += action.pauseSec;
     passes_++;
+    barriers_ += action.stats.barriers;
+    if (action.stats.barriers > 0)
+        maxBarrierPauseSec_ = std::max(maxBarrierPauseSec_,
+                                       barrierChargeOf(action.stats));
 
-    const bool no_progress = action.stats.movedBytes == 0 &&
-                             action.stats.reclaimedBytes == 0;
     const double now = clock_.now();
-    if (service_.fragmentation() < params_.fLb || no_progress) {
+    if (!pass_done) {
+        // Mid-pass: the next tick runs the next barrier; the overhead
+        // sleep between barriers is what turns one long pause into
+        // many short ones.
+        nextWake_ = now + std::max(action.costSec / params_.oUb,
+                                   params_.minSleepSec);
+    } else if (service_.fragmentation() < params_.fLb || no_progress) {
         // Goal reached or out of opportunities: observe efficiently.
         state_ = State::Waiting;
         nextWake_ = now + params_.pollInterval;
     } else if (action.costSec > 0) {
         // Overhead control: sleeping T_defrag / O_ub bounds the duty
-        // cycle at O_ub (paper: "going to sleep for T = Tdefrag/Oub").
-        nextWake_ = now + action.costSec / params_.oUb;
+        // cycle at O_ub (paper: "going to sleep for T = Tdefrag/Oub"),
+        // floored so a sub-microsecond measured pass cannot near-spin
+        // the controller (sleeping longer only lowers the duty cycle).
+        nextWake_ = now + std::max(action.costSec / params_.oUb,
+                                   params_.minSleepSec);
     } else {
         // A modeled campaign that moved nothing has zero charge; poll
         // rather than spinning on a zero-length sleep.

@@ -12,7 +12,11 @@
  *  - Defragmenting: run partial passes, each moving at most an
  *    alpha-fraction of the heap; after a pass taking T_defrag, sleep
  *    T = T_defrag / O_ub; return to Waiting when fragmentation < F_lb
- *    or no further progress is possible.
+ *    or no further progress is possible. A stop-the-world pass is
+ *    batched (paper §6's pause-time story): it runs as a sequence of
+ *    short barriers — one per tick, at most batchBytes moved each,
+ *    the overhead sleep in between — so no single mutator-visible
+ *    pause exceeds the batch budget regardless of heap size.
  *
  * The controller is clock-driven (tick()), so the same code runs under
  * a real clock (examples) or a virtual clock (benchmarks, Figure 10/11).
@@ -22,6 +26,7 @@
 #define ALASKA_ANCHORAGE_CONTROL_H
 
 #include <cstddef>
+#include <optional>
 
 #include "anchorage/anchorage_service.h"
 #include "sim/clock.h"
@@ -83,6 +88,34 @@ struct ControlParams
      */
     double abortFallbackRate = 0.5;
     uint64_t abortFallbackMinAttempts = 32;
+    /**
+     * Batched stop-the-world passes: max bytes moved inside any single
+     * barrier. A logical pass (alpha × extent) is spread over
+     * ceil(budget / batchBytes) short barriers — one per tick, with
+     * the overhead-control sleep between them — so each mutator-
+     * visible pause is bounded by roughly
+     * modelPauseFloor + batchBytes / copy-bandwidth instead of by the
+     * whole alpha fraction of the heap. 0 = monolithic (each pass one
+     * barrier, the pre-batching behavior). The Hybrid fallback runs
+     * its remainder through the same batch bound.
+     */
+    size_t batchBytes = 1 << 20;
+    /**
+     * Per-shard fairness: the fraction of a pass's byte budget that
+     * any one shard's sources may consume, so a single hot shard
+     * cannot starve every other shard's reclamation within the pass.
+     * >= 1.0 disables the cap (a lone fragmented shard may then use
+     * the full budget, which is the right default when fragmentation
+     * is not adversarially skewed).
+     */
+    double shardBudgetFraction = 1.0;
+    /**
+     * Floor on the overhead-control sleep. T_defrag / O_ub near-spins
+     * under a real clock when a measured pass is sub-microsecond; the
+     * floor keeps the duty cycle at or below O_ub (sleeping longer
+     * only lowers it) without busy-polling the clock.
+     */
+    double minSleepSec = 100e-6;
 };
 
 /** What a controller tick did. Returned by value; no locking. */
@@ -90,11 +123,17 @@ struct ControlAction
 {
     /** True if a defrag pass ran on this tick. */
     bool defragged = false;
-    /** Stats of the pass (campaign + fallback folded together). */
+    /**
+     * Stats of the tick's work (campaign + fallback folded together).
+     * In batched StopTheWorld mode this is one barrier of the
+     * in-progress pass; stats.barriers / stats.maxBarrier* carry the
+     * honest per-barrier numbers when a tick ran more than one.
+     */
     DefragStats stats;
     /**
-     * The mutator-visible stop-the-world time of this tick (model or
-     * measured). Zero for purely concurrent campaigns.
+     * The mutator-visible stop-the-world time of this tick, summed
+     * over its barriers (model or measured). Zero for purely
+     * concurrent campaigns; the per-barrier max is in stats.
      */
     double pauseSec = 0;
     /**
@@ -155,10 +194,17 @@ class DefragController
     double totalDefragSec() const { return totalDefragSec_; }
     /** Total mutator-visible stop-the-world time so far, seconds. */
     double totalPauseSec() const { return totalPauseSec_; }
-    /** Number of passes run. */
+    /** Number of ticks that did defrag work (in batched StopTheWorld
+     *  mode each such tick runs one barrier of a logical pass). */
     size_t passes() const { return passes_; }
     /** Number of Hybrid ticks that fell back to a barrier. */
     size_t fallbacks() const { return fallbacks_; }
+    /** Stop-the-world barriers run so far (each bounded by
+     *  batchBytes when batching is on). */
+    size_t barriers() const { return barriers_; }
+    /** Longest single barrier charged so far, seconds (model or
+     *  measured, per useModeledTime). */
+    double maxBarrierPauseSec() const { return maxBarrierPauseSec_; }
 
   private:
     ControlAction runPass();
@@ -172,6 +218,10 @@ class DefragController
     double totalPauseSec_ = 0;
     size_t passes_ = 0;
     size_t fallbacks_ = 0;
+    size_t barriers_ = 0;
+    double maxBarrierPauseSec_ = 0;
+    /** In-progress batched StopTheWorld pass, resumed tick by tick. */
+    std::optional<AnchorageService::BatchedPass> stwPass_;
 };
 
 } // namespace alaska::anchorage

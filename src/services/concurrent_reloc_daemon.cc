@@ -99,6 +99,27 @@ ConcurrentRelocDaemon::totalPauseSec() const
     return totalPauseSec_;
 }
 
+size_t
+ConcurrentRelocDaemon::barriers() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return barriers_;
+}
+
+double
+ConcurrentRelocDaemon::maxBarrierPauseSec() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return maxBarrierPauseSec_;
+}
+
+LatencyDigest
+ConcurrentRelocDaemon::barrierPauses() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return barrierPauses_;
+}
+
 void
 ConcurrentRelocDaemon::run()
 {
@@ -115,8 +136,13 @@ ConcurrentRelocDaemon::run()
             totals_.accumulate(action.stats);
             passes_ = controller_.passes();
             fallbacks_ = controller_.fallbacks();
+            barriers_ = controller_.barriers();
             totalDefragSec_ = controller_.totalDefragSec();
             totalPauseSec_ = controller_.totalPauseSec();
+            maxBarrierPauseSec_ = controller_.maxBarrierPauseSec();
+            if (action.stats.barriers > 0)
+                barrierPauses_.add(static_cast<uint64_t>(
+                    action.stats.maxBarrierSec * 1e9));
         }
 
         const double wait = std::clamp(

@@ -27,6 +27,7 @@
 
 #include "anchorage/anchorage_service.h"
 #include "anchorage/control.h"
+#include "base/stats.h"
 #include "core/runtime.h"
 #include "sim/clock.h"
 
@@ -88,6 +89,26 @@ class ConcurrentRelocDaemon
     /** Total mutator-visible pause time caused so far, seconds. */
     double totalPauseSec() const;
 
+    /** Stop-the-world barriers run so far (batched passes run many
+     *  short ones per logical pass). Any thread. */
+    size_t barriers() const;
+
+    /** Longest single barrier so far in the controller's charged
+     *  time: measured wall seconds normally, modeled seconds under
+     *  ControlParams::useModeledTime. Any thread. */
+    double maxBarrierPauseSec() const;
+
+    /**
+     * Distribution of per-tick worst-barrier pauses, always in
+     * *measured* wall nanoseconds (unlike maxBarrierPauseSec(), which
+     * follows useModeledTime — the daemon normally runs a real clock,
+     * where the two agree). In batched StopTheWorld mode a tick runs
+     * exactly one barrier, so this is the exact per-barrier pause
+     * distribution; a Hybrid fallback tick contributes its worst
+     * barrier. Snapshot copy; any thread.
+     */
+    LatencyDigest barrierPauses() const;
+
   private:
     void run();
 
@@ -107,8 +128,11 @@ class ConcurrentRelocDaemon
     anchorage::DefragStats totals_;
     size_t passes_ = 0;
     size_t fallbacks_ = 0;
+    size_t barriers_ = 0;
     double totalDefragSec_ = 0;
     double totalPauseSec_ = 0;
+    double maxBarrierPauseSec_ = 0;
+    LatencyDigest barrierPauses_;
 };
 
 } // namespace alaska

@@ -352,6 +352,37 @@ TEST_F(ModeControlTest, ConcurrentModeReachesTargetWithZeroBarriers)
         runtime_.hfree(h);
 }
 
+TEST_F(ModeControlTest, HybridFallbackDeductsCampaignSpendFromBudget)
+{
+    // Regression: the fallback used to re-spend the full alpha budget
+    // after the campaign had already moved bytes, so one Hybrid tick
+    // could move up to 2x alpha of the heap and double the intended
+    // pause bound. The fallback must get only the remainder.
+    auto survivors = fragmentHeap(4000);
+    ControlParams params{.useModeledTime = true,
+                         .mode = DefragMode::Hybrid};
+    params.alpha = 0.25;
+    // Force the fallback on every tick regardless of contention: the
+    // subject here is the budget arithmetic, not the abort feedback.
+    params.abortFallbackRate = -1.0;
+    params.abortFallbackMinAttempts = 0;
+    DefragController controller(service_, clock_, params);
+    ASSERT_GT(service_.fragmentation(), params.fUb);
+
+    const size_t extent_before = service_.heapExtent();
+    const ControlAction action = controller.tick();
+    ASSERT_TRUE(action.defragged);
+    EXPECT_GT(action.stats.movedBytes, 0u);
+    // Campaign + fallback together stay within alpha x extent (plus
+    // at most one object's overshoot per phase).
+    EXPECT_LE(action.stats.movedBytes,
+              static_cast<size_t>(0.25 *
+                                  static_cast<double>(extent_before)) +
+                  2 * 256);
+    for (void *h : survivors)
+        runtime_.hfree(h);
+}
+
 TEST_F(ModeControlTest, HybridFallsBackToBarrierUnderAborts)
 {
     auto survivors = fragmentHeap(2000);

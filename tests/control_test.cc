@@ -168,6 +168,72 @@ TEST_F(ControlTest, AlphaBoundsPerPassWork)
         runtime_.hfree(h);
 }
 
+TEST_F(ControlTest, OverheadSleepClampedToFloor)
+{
+    // A tiny heap measured under the real stopwatch: the pass costs
+    // microseconds, so T_defrag / O_ub would wake the controller again
+    // almost immediately — the near-spin the sleep floor prevents.
+    std::vector<void *> handles;
+    for (int i = 0; i < 64; i++)
+        handles.push_back(runtime_.halloc(256));
+    for (size_t i = 0; i < handles.size(); i += 2)
+        runtime_.hfree(handles[i]);
+    ControlParams params; // measured time: useModeledTime = false
+    params.fLb = 1.01;    // partial pass leaves frag above this
+    params.oUb = 1.0;
+    params.minSleepSec = 0.005;
+    DefragController controller(service_, clock_, params);
+    const ControlAction action = controller.tick();
+    ASSERT_TRUE(action.defragged);
+    // Whatever branch scheduled the wake-up, it must respect the floor.
+    EXPECT_GE(controller.nextWake() - clock_.now(),
+              params.minSleepSec);
+    for (size_t i = 1; i < handles.size(); i += 2)
+        runtime_.hfree(handles[i]);
+}
+
+TEST_F(ControlTest, BatchedPassBoundsEveryBarrier)
+{
+    auto survivors = fragmentHeap(20000);
+    ControlParams params{.useModeledTime = true};
+    params.alpha = 1.0;
+    params.batchBytes = 64 << 10;
+    DefragController controller(service_, clock_, params);
+
+    const AnchorageConfig config; // fixture runs service defaults
+    size_t work_ticks = 0;
+    for (int i = 0; i < 2000; i++) {
+        const ControlAction action = controller.tick();
+        if (action.defragged) {
+            work_ticks++;
+            // One barrier per tick, each bounded by the batch budget
+            // (plus at most one object's overshoot).
+            EXPECT_EQ(action.stats.barriers, 1u);
+            EXPECT_LE(action.stats.maxBarrierBytes,
+                      params.batchBytes + 512);
+        }
+        clock_.set(controller.nextWake());
+        if (controller.state() == DefragController::State::Waiting &&
+            service_.fragmentation() < params.fLb) {
+            break;
+        }
+    }
+    // The whole-heap pass really was spread over many short barriers
+    // and still reached the hysteresis target.
+    EXPECT_GT(work_ticks, 1u);
+    EXPECT_GT(controller.barriers(), 1u);
+    EXPECT_LT(service_.fragmentation(), params.fLb);
+    // The modeled per-barrier pause never exceeded the batch-derived
+    // bound: floor + batch / bandwidth.
+    EXPECT_LE(controller.maxBarrierPauseSec(),
+              config.modelPauseFloor +
+                  static_cast<double>(params.batchBytes + 512) /
+                      config.modelBandwidth +
+                  1e-12);
+    for (void *h : survivors)
+        runtime_.hfree(h);
+}
+
 TEST_F(ControlTest, NoOpportunitiesReturnsToWaiting)
 {
     // Dense heap just above F_ub: nothing can move, the controller must
