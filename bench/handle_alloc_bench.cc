@@ -19,12 +19,20 @@
  * sub-heap chain + lock per shard, thread-affine). This is the
  * allocation hot path the sharded sub-heap work targets.
  *
+ * Section 3 — translation: the raw translate() fast path against the
+ * typed layer it compiles down to (api::deref, the access<T> guard,
+ * and an access_scope-bracketed op), all under the stop-the-world
+ * discipline. This is the zero-overhead check for src/api: the typed
+ * columns must sit within noise of the raw column.
+ *
  * Workload: each thread owns a window of live IDs (or handles) and
  * repeatedly releases a slot and allocates a replacement, which is the
  * steady state of a mutator under churn. One "op" is one
- * release+allocate pair.
+ * release+allocate pair (sections 1-2) or one 8-byte load through a
+ * translation (section 3).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -32,11 +40,11 @@
 #include <vector>
 
 #include "anchorage/anchorage_service.h"
+#include "api/api.h"
 #include "base/logging.h"
 #include "base/timer.h"
 #include "core/handle_table.h"
 #include "core/malloc_service.h"
-#include "core/runtime.h"
 #include "sim/address_space.h"
 
 namespace
@@ -212,6 +220,114 @@ benchHalloc(int nThreads, size_t shards)
            1e6;
 }
 
+// --- section 3: raw translate vs the typed guard path -----------------------
+
+constexpr int kDerefReps = 20000;
+constexpr int kDerefTrials = 5;
+
+/**
+ * One timed pass: sum an int64 out of every object in the window,
+ * kDerefReps times, loading through `loadFn(handle, i)`. The checksum
+ * defeats dead-code elimination. @return seconds taken.
+ */
+template <typename LoadFn>
+double
+derefPass(void *const *window, LoadFn &&loadFn)
+{
+    int64_t checksum = 0;
+    Stopwatch watch;
+    for (int rep = 0; rep < kDerefReps; rep++) {
+        for (int i = 0; i < kWindow; i++)
+            checksum += loadFn(window[i], rep);
+    }
+    const double sec = watch.elapsedSec();
+    // Consume the checksum so the loops cannot be optimized away.
+    if (checksum == 0x7fffffffffffffff)
+        std::printf("(unlikely checksum)\n");
+    return sec;
+}
+
+void
+benchTypedGuards()
+{
+    MallocService service;
+    Runtime runtime(RuntimeConfig{.tableCapacity = kTableCapacity});
+    runtime.attachService(&service);
+    ThreadRegistration reg(runtime);
+
+    void *window[kWindow];
+    for (int i = 0; i < kWindow; i++) {
+        window[i] = runtime.halloc(kObjectSize);
+        auto *raw = static_cast<int64_t *>(translate(window[i]));
+        for (size_t j = 0; j < kObjectSize / sizeof(int64_t); j++)
+            raw[j] = i + static_cast<int64_t>(j);
+    }
+
+    // Interleave the four configurations round-robin and keep each
+    // one's best trial: throughput on a shared host drifts on
+    // millisecond scales, and measuring the columns back-to-back would
+    // fold that drift into the comparison.
+    constexpr int kOpSize = 16;
+    double best[4] = {1e30, 1e30, 1e30, 1e30};
+    for (int trial = 0; trial < kDerefTrials; trial++) {
+        best[0] = std::min(
+            best[0], derefPass(window, [](void *h, int rep) {
+                return static_cast<int64_t *>(
+                    translate(h))[rep % (kObjectSize / 8)];
+            }));
+        best[1] = std::min(
+            best[1], derefPass(window, [](void *h, int rep) {
+                return api::deref(
+                    static_cast<int64_t *>(h))[rep % (kObjectSize / 8)];
+            }));
+        best[2] = std::min(
+            best[2], derefPass(window, [](void *h, int rep) {
+                alaska::access<int64_t> guard(static_cast<int64_t *>(h));
+                return guard[rep % (kObjectSize / 8)];
+            }));
+        // access_scope at its real granularity: one scope per
+        // *operation* (a pass over kOpSize objects, a KV-request-sized
+        // unit), per-access derefs inside it.
+        int64_t checksum = 0;
+        Stopwatch watch;
+        for (int rep = 0; rep < kDerefReps; rep++) {
+            for (int base = 0; base < kWindow; base += kOpSize) {
+                access_scope op;
+                for (int i = 0; i < kOpSize; i++) {
+                    checksum += api::deref(static_cast<int64_t *>(
+                        window[base + i]))[rep % (kObjectSize / 8)];
+                }
+            }
+        }
+        best[3] = std::min(best[3], watch.elapsedSec());
+        if (checksum == 0x7fffffffffffffff)
+            std::printf("(unlikely checksum)\n");
+    }
+    const double ops = static_cast<double>(kDerefReps) * kWindow / 1e6;
+    const double raw = ops / best[0];
+    const double typed_deref = ops / best[1];
+    const double typed_guard = ops / best[2];
+    const double typed_scope = ops / best[3];
+
+    std::printf("\n# translation throughput, stop-the-world discipline "
+                "(M loads per second, 1 thread, best of %d)\n",
+                kDerefTrials);
+    std::printf("# typed columns are the src/api guard family; all "
+                "compile down to the raw fast path\n"
+                "# (scope+deref opens one access_scope per %d-access "
+                "operation, the policy-layer granularity)\n\n",
+                kOpSize);
+    std::printf("%-16s %14s %14s %14s %14s\n", "", "raw translate",
+                "api::deref", "access<T>", "scope+deref");
+    std::printf("%-16s %14.2f %14.2f %14.2f %14.2f\n", "Mops/s", raw,
+                typed_deref, typed_guard, typed_scope);
+    std::printf("%-16s %14s %13.2fx %13.2fx %13.2fx\n", "vs raw", "-",
+                typed_deref / raw, typed_guard / raw, typed_scope / raw);
+
+    for (int i = 0; i < kWindow; i++)
+        runtime.hfree(window[i]);
+}
+
 } // namespace
 
 int
@@ -245,5 +361,7 @@ main()
         std::printf("%-8d %14.2f %14.2f %9.2fx\n", nThreads, single,
                     sharded, sharded / single);
     }
+
+    benchTypedGuards();
     return 0;
 }

@@ -38,13 +38,11 @@
 
 #include "anchorage/anchorage_service.h"
 #include "anchorage/control.h"
+#include "api/api.h"
 #include "base/stats.h"
 #include "base/timer.h"
-#include "core/runtime.h"
-#include "core/translate.h"
 #include "kv/alloc_policy.h"
 #include "kv/minikv.h"
-#include "services/concurrent_reloc.h"
 #include "services/concurrent_reloc_daemon.h"
 #include "sim/address_space.h"
 #include "ycsb/ycsb.h"
@@ -272,7 +270,10 @@ runMode(anchorage::DefragMode mode, int threads, size_t shards,
                     ycsb::Workload::keyFor(2 * request.key + 1);
                 Stopwatch watch;
                 {
-                    ConcurrentAccessScope scope;
+                    // The typed layer's operation bracket: a real
+                    // ConcurrentAccessScope while the daemon's mode
+                    // permits campaigns, two loads under pure STW.
+                    access_scope scope;
                     switch (request.op) {
                       case ycsb::OpType::Read:
                         store.get(key);

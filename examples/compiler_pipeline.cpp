@@ -6,7 +6,12 @@
  * safepoints), print the before/after IR, and execute both on the
  * real runtime to show they agree.
  *
- * Build & run:  ./build/examples/compiler_pipeline
+ * This is the third face of the same contract: C callers use the raw
+ * halloc/translate surface, C++ callers the typed guards in src/api,
+ * and compiled code gets the exact raw operations inserted for it by
+ * these passes — all three meet at the handle table.
+ *
+ * Build & run:  ./build/example_compiler_pipeline
  */
 
 #include <cstdio>

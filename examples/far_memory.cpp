@@ -3,18 +3,19 @@
  * Object-granularity swapping via handle faults (paper §7): evict cold
  * objects to a slow tier and fault them back in transparently on the
  * next checked translation — paging semantics at object granularity,
- * with no page tables involved.
+ * with no page tables involved. Written against the typed API: hbox
+ * owns each object, pinned<> guards what must stay hot, and
+ * `alaska::access<T>(h, alaska::checked)` is the fault-checked
+ * translation.
  *
- * Build & run:  ./build/examples/far_memory
+ * Build & run:  ./build/example_far_memory
  */
 
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
-#include "core/pin.h"
-#include "core/runtime.h"
-#include "core/translate.h"
+#include "api/api.h"
 #include "services/swap_service.h"
 
 int
@@ -27,13 +28,14 @@ main()
     runtime.attachService(&service);
     ThreadRegistration self(runtime);
 
-    // A working set of 1 KiB objects.
+    // A working set of 1 KiB objects, each owned by an hbox.
     constexpr int n = 1000;
-    std::vector<void *> objects;
+    std::vector<hbox<unsigned char>> objects;
+    objects.reserve(n);
     for (int i = 0; i < n; i++) {
-        void *h = runtime.halloc(1024);
-        std::memset(translate(h), i & 0xff, 1024);
-        objects.push_back(h);
+        objects.emplace_back(runtime, 1024);
+        alaska::access<unsigned char> mem(objects.back());
+        std::memset(mem.get(), i & 0xff, 1024);
     }
     std::printf("allocated %d KiB hot\n", n);
     std::printf("hot=%zu KiB cold=%zu KiB\n", service.hotBytes() / 1024,
@@ -41,9 +43,8 @@ main()
 
     // Keep a few pinned (imagine they are mid-I/O), evict the rest.
     {
-        ALASKA_PIN_FRAME(frame, 2);
-        frame.pin(0, objects[0]);
-        frame.pin(1, objects[1]);
+        pinned<unsigned char> io0(objects[0]);
+        pinned<unsigned char> io1(objects[1]);
         const size_t evicted = service.swapOutAllUnpinned();
         std::printf("\nswapped out %zu unpinned objects\n", evicted);
     }
@@ -53,17 +54,16 @@ main()
     // Touch a working set: each first touch faults the object in.
     long checksum = 0;
     for (int i = 0; i < 50; i++) {
-        auto *p = static_cast<unsigned char *>(
-            translateChecked(objects[static_cast<size_t>(i)]));
-        checksum += p[512];
+        alaska::access<unsigned char> mem(objects[static_cast<size_t>(i)],
+                                          checked);
+        checksum += mem[512];
     }
     std::printf("\ntouched 50 objects -> %zu handle faults served, "
                 "checksum %ld\n", service.swapIns(), checksum);
     std::printf("hot=%zu KiB cold=%zu KiB\n", service.hotBytes() / 1024,
                 service.coldBytes() / 1024);
 
-    for (void *h : objects)
-        runtime.hfree(h);
+    objects.clear(); // every hbox frees its object
     std::printf("\nall freed; cold tier drained to %zu bytes\n",
                 service.coldBytes());
     return 0;

@@ -6,7 +6,14 @@
  * churn, and the control thread defragments it away — no activedefrag,
  * no application cooperation.
  *
- * Build & run:  ./build/examples/kv_cache_server
+ * The store is written against the AlaskaAlloc policy, whose deref is
+ * the typed layer's mode-aware translation; each request below is
+ * bracketed in an alaska::access_scope, so this exact code is also
+ * safe if the controller were hosted on a ConcurrentRelocDaemon in
+ * Concurrent mode (the scope is two loads and nothing else under the
+ * stop-the-world mode this demo runs).
+ *
+ * Build & run:  ./build/example_kv_cache_server
  */
 
 #include <chrono>
@@ -16,8 +23,8 @@
 
 #include "anchorage/anchorage_service.h"
 #include "anchorage/control.h"
+#include "api/api.h"
 #include "base/rng.h"
-#include "core/runtime.h"
 #include "kv/alloc_policy.h"
 #include "kv/minikv.h"
 #include "sim/address_space.h"
@@ -61,6 +68,7 @@ main()
                 "user:" + std::to_string(rng.below(1u << 20));
             const size_t value_size =
                 200 + (round % 4) * 150 + rng.below(100);
+            access_scope request;
             kv.set(key, std::string(value_size, 'v'));
             inserted++;
         }
@@ -80,6 +88,7 @@ main()
                     service.fragmentation(), controller.passes());
     }
 
+    access_scope final_read;
     std::printf("\nfinal: %zu keys, frag %.2fx after %zu controller "
                 "passes; a sample read: %s\n",
                 kv.stats().keys, service.fragmentation(),

@@ -1,22 +1,24 @@
 /**
  * @file
- * Quickstart: the Alaska runtime in thirty lines.
+ * Quickstart: the typed Alaska API in forty lines.
  *
- * Allocate behind handles, use the memory exactly like pointers (after
- * the translation the compiler would insert), pin what must not move,
- * and watch a single handle-table store relocate an object under every
- * alias at once.
+ * Allocate behind handles with an owning hbox, read and write through
+ * RAII access guards (which insert the translation the compiler
+ * would), take typed interior views with href, pin what must not
+ * move, and watch a single handle-table store relocate an object under
+ * every alias at once. The raw halloc/translate surface underneath is
+ * still there (docs/API.md, "escape hatch") — this file never needs
+ * it.
  *
- * Build & run:  ./build/examples/quickstart
+ * Build & run:  ./build/example_quickstart
  */
 
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
+#include "api/api.h"
 #include "core/malloc_service.h"
-#include "core/pin.h"
-#include "core/runtime.h"
-#include "core/translate.h"
 
 int
 main()
@@ -30,51 +32,63 @@ main()
     runtime.attachService(&service);
     ThreadRegistration self(runtime);
 
-    // halloc returns a *handle*: top bit set, not a real address.
-    char *greeting = static_cast<char *>(runtime.halloc(64));
+    // hbox allocates behind a *handle*: top bit set, not a real
+    // address. The box owns the allocation and frees it on scope exit.
+    hbox<char> greeting(runtime, 64);
     std::printf("handle value:     %p (top bit tagged)\n",
-                static_cast<void *>(greeting));
+                static_cast<void *>(greeting.get()));
 
-    // Translation gives the current raw pointer; the compiler inserts
-    // these automatically — here we play compiler ourselves.
-    std::strcpy(static_cast<char *>(translate(greeting)),
-                "hello from a movable object");
-    std::printf("translates to:    %p\n", translate(greeting));
-    std::printf("contents:         %s\n",
-                static_cast<char *>(translate(greeting)));
+    // An access guard translates once; the raw pointer is valid for
+    // the guard's lifetime (and the guard picks the right translation
+    // idiom for the runtime's defrag mode automatically).
+    {
+        alaska::access<char> mem(greeting);
+        std::strcpy(mem.get(), "hello from a movable object");
+        std::printf("translates to:    %p\n",
+                    static_cast<void *>(mem.get()));
+        std::printf("contents:         %s\n", mem.get());
+    }
 
-    // Aliases are just copies of the handle. Interior pointers work:
-    // arithmetic happens in the handle's offset bits.
-    char *alias = greeting + 6;
+    // Aliases are typed views; interior arithmetic happens in the
+    // handle's offset bits and can never corrupt the handle ID.
+    href<char> alias = greeting.ref() + 6;
     std::printf("interior alias:   '%s'\n",
-                static_cast<char *>(translate(alias)));
+                alaska::access<char>(alias).get());
 
     // Move the object: one store in the handle table republishes it
     // for every alias — this is the O(1) relocation handles buy.
-    auto &entry =
-        runtime.table().entry(handleId(reinterpret_cast<uint64_t>(greeting)));
+    auto &entry = runtime.table().entry(greeting.ref().id());
     void *old_spot = entry.ptr.load();
     void *new_spot = std::malloc(64);
     std::memcpy(new_spot, old_spot, 64);
     entry.ptr.store(new_spot);
     std::free(old_spot);
     std::printf("after a move:     %p -> '%s' (same handle!)\n",
-                translate(greeting),
-                static_cast<char *>(translate(alias)));
+                static_cast<void *>(alaska::access<char>(greeting).get()),
+                alaska::access<char>(alias).get());
 
-    // Pinning: while pinned, a barrier reports the object immobile.
+    // Pinning: while a pinned<> guard lives, a barrier reports the
+    // object immobile (and concurrent campaigns abort on it).
     {
-        Pinned<char> pin(greeting);
-        runtime.barrier([&](const PinnedSet &pinned) {
+        pinned<char> pin(greeting);
+        runtime.barrier([&](const PinnedSet &pinned_set) {
             std::printf("pinned during barrier: %s\n",
-                        pinned.contains(handleId(reinterpret_cast<uint64_t>(
-                            greeting)))
-                            ? "yes"
-                            : "no");
+                        pinned_set.contains(greeting.ref().id()) ? "yes"
+                                                                 : "no");
         });
     }
 
-    runtime.hfree(greeting);
+    // STL containers live behind handles too: vector's backing array
+    // is one movable handle allocation.
+    std::vector<int, allocator<int>> numbers;
+    for (int i = 1; i <= 10; i++)
+        numbers.push_back(i * i);
+    int sum = 0;
+    for (int v : numbers)
+        sum += v;
+    std::printf("vector behind a handle: sum of squares = %d\n", sum);
+
+    // greeting's hbox frees the allocation here — no hfree to forget.
     std::printf("done.\n");
     return 0;
 }

@@ -7,9 +7,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-# Docs gate: public headers in src/anchorage/ and src/services/ must
-# document every public class (locking/shard-affinity contracts live
-# there; see docs/ARCHITECTURE.md).
+# Docs gate: public headers in src/core/, src/api/, src/anchorage/ and
+# src/services/ must document every public class (the raw and typed
+# API contracts and the locking/shard-affinity contracts live there;
+# see docs/ARCHITECTURE.md and docs/API.md).
 sh scripts/check_header_docs.sh
 
 cmake -B build -S .
@@ -29,3 +30,12 @@ ctest --output-on-failure -j "$(nproc)"
 ./tab_ycsb_latency --smoke --multi-only --shards=1 > /dev/null
 ./fig12_memcached_pauses --smoke > /dev/null
 echo "bench smoke OK"
+
+# Example smoke: every example binary must run to completion — the
+# examples are the typed-API documentation that compiles, so they may
+# not bit-rot either.
+./example_quickstart > /dev/null
+./example_far_memory > /dev/null
+./example_kv_cache_server > /dev/null
+./example_compiler_pipeline > /dev/null
+echo "example smoke OK"

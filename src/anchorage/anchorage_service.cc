@@ -602,11 +602,14 @@ AnchorageService::relocateCampaign(size_t max_bytes)
     if (!campaignActive_.compare_exchange_strong(expected, true))
         return stats;
 
-    // Raise the global flag, then drain accessor scopes that opened
-    // before the flag was visible — they translate unpinned and must
-    // finish before the first mark (see ConcurrentAccessScope).
+    // Raise the global flag (and the scoped-discipline demand it
+    // implies, for accessors that pick their idiom dynamically), then
+    // drain accessor scopes that opened before the flag was visible —
+    // they translate unpinned and must finish before the first mark
+    // (see ConcurrentAccessScope).
     Runtime::gConcurrentRelocCampaigns.fetch_add(1,
                                                  std::memory_order_seq_cst);
+    Runtime::declareConcurrentDefrag();
     runtime_->quiesceConcurrentAccessors();
 
     // Rank every shard's sub-heaps emptiest-first once per campaign
@@ -728,6 +731,7 @@ AnchorageService::relocateCampaign(size_t max_bytes)
         invalidatePlacementLocked(*sh);
     }
 
+    Runtime::retireConcurrentDefrag();
     Runtime::gConcurrentRelocCampaigns.fetch_sub(1,
                                                  std::memory_order_seq_cst);
     campaignActive_.store(false, std::memory_order_release);

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The unified access-guard family of the typed API: one set of types
+ * that picks the correct translation idiom from the runtime's active
+ * defrag mode (Runtime::translationDiscipline()), so callers no longer
+ * choose between translate() and translateScoped() by hand — the
+ * choice PR 2 left to every call site, where picking wrong silently
+ * races relocation campaigns.
+ *
+ *  - alaska::access_scope   brackets one application operation. Free
+ *                           under the Direct discipline; a real
+ *                           ConcurrentAccessScope under Scoped.
+ *  - alaska::api::deref<T>  per-access translation inside a scope —
+ *                           what the KV policies' deref() compiles to.
+ *  - alaska::access<T>      RAII guard for one object: the raw pointer
+ *                           is valid for the guard's lifetime (atomic
+ *                           pin under Scoped, plain translation under
+ *                           Direct — then valid until the next
+ *                           safepoint, so don't hold it across poll()).
+ *  - alaska::pinned<T>      must-not-move guard: the object cannot be
+ *                           relocated while the guard lives, across
+ *                           barriers included (stack pin frame under
+ *                           Direct, atomic pin under Scoped — both are
+ *                           honored by STW passes and campaigns).
+ *
+ * Everything is header-only and compiles down to the raw surface; the
+ * Direct fast paths are measured against raw translate() in
+ * bench/handle_alloc_bench.cc (section 3).
+ */
+
+#ifndef ALASKA_API_ACCESS_H
+#define ALASKA_API_ACCESS_H
+
+#include <cstddef>
+#include <optional>
+
+#include "api/href.h"
+#include "core/pin.h"
+#include "core/runtime.h"
+#include "core/translate.h"
+#include "services/concurrent_reloc.h"
+
+namespace alaska
+{
+
+template <typename T>
+class hbox;
+
+namespace api
+{
+
+/**
+ * Mode-aware per-access translation: the typed layer's equivalent of
+ * the compiler-inserted translate. Compiles to translateScoped(),
+ * whose fast path is the ordinary one-load translate() behind a single
+ * thread-local test — the test only fires when the enclosing
+ * access_scope opened during an in-flight campaign, in which case each
+ * deref pins until the scope closes. Contract: under the Scoped
+ * discipline (Runtime::translationDiscipline()) the caller must be
+ * inside an access_scope bracketing the operation; under Direct no
+ * scope is needed and the raw pointer is valid until the next
+ * safepoint.
+ */
+template <typename T>
+inline T *
+deref(T *maybe_handle)
+{
+    return static_cast<T *>(
+        translateScoped(const_cast<const T *>(maybe_handle)));
+}
+
+} // namespace api
+
+/**
+ * Tag selecting the handle-fault-checked translation (paper §7): an
+ * access constructed with `alaska::checked` traps into the service for
+ * entries marked Invalid (e.g. swapped-out objects) instead of
+ * dereferencing a poisoned pointer. Meaningful with fault-based
+ * services (SwapService); those do not run relocation campaigns, so
+ * the checked path always uses the Direct idiom.
+ */
+struct checked_t
+{
+    explicit checked_t() = default;
+};
+
+/** The checked_t tag value (see checked_t). */
+inline constexpr checked_t checked{};
+
+/**
+ * Brackets one application operation (one KV request, one graph query)
+ * in the discipline the runtime currently requires. Under Direct this
+ * is two uncontended loads and nothing else; under Scoped it opens a
+ * real ConcurrentAccessScope, so every api::deref()/policy deref
+ * inside pins against in-flight campaigns and all pins drop when the
+ * scope closes. Must not span a safepoint poll (pins held at a barrier
+ * block compaction of those objects). Scopes nest.
+ */
+class access_scope
+{
+  public:
+    access_scope()
+    {
+        if (Runtime::translationDiscipline() ==
+            TranslationDiscipline::Scoped) {
+            scope_.emplace();
+        }
+    }
+
+    access_scope(const access_scope &) = delete;
+    access_scope &operator=(const access_scope &) = delete;
+
+  private:
+    std::optional<ConcurrentAccessScope> scope_;
+};
+
+/**
+ * RAII typed access to one object behind a maybe-handle: construction
+ * translates once, and the raw pointer stays valid for the guard's
+ * lifetime. Under the Scoped discipline the guard holds its own atomic
+ * pin, so a relocation campaign racing the guard aborts instead of
+ * moving the object out from under it; under Direct the translation is
+ * the plain one-load fast path and the guard must not outlive the next
+ * safepoint poll (exactly the raw translate() contract). Use
+ * pinned<T> when the object must survive barriers unmoved.
+ */
+template <typename T>
+class access
+{
+  public:
+    /** Translate a maybe-handle for the guard's lifetime. */
+    explicit access(T *maybe_handle)
+    {
+        if (__builtin_expect(Runtime::translationDiscipline() ==
+                                 TranslationDiscipline::Scoped,
+                             0)) {
+            // ConcurrentPin's handshake is the one implementation of
+            // pinning against the campaign mover; the guard holds one
+            // pin through its static halves.
+            entry_ = ConcurrentPin::pinFor(maybe_handle);
+            raw_ = static_cast<T *>(translateConcurrent(maybe_handle));
+        } else {
+            raw_ = static_cast<T *>(
+                translate(static_cast<const void *>(maybe_handle)));
+        }
+    }
+
+    ~access() { ConcurrentPin::unpin(entry_); }
+
+    /**
+     * Fault-checked translation (see checked_t): swapped-out objects
+     * are faulted back in by the service before the guard returns.
+     */
+    access(T *maybe_handle, checked_t)
+        : raw_(static_cast<T *>(
+              translateChecked(static_cast<const void *>(maybe_handle))))
+    {
+    }
+
+    /** Access the contents of an owning box. */
+    explicit access(const hbox<T> &box) : access(box.get()) {}
+
+    /** Checked access to an owning box's contents. */
+    access(const hbox<T> &box, checked_t) : access(box.get(), checked) {}
+
+    /** Access through a typed view. */
+    explicit access(href<T> ref) : access(ref.get()) {}
+
+    access(const access &) = delete;
+    access &operator=(const access &) = delete;
+
+    /** The translated raw pointer (guard-lifetime validity). */
+    T *get() const { return raw_; }
+    T &operator*() const { return *raw_; }
+    T *operator->() const { return raw_; }
+    /** Element access for array objects. */
+    T &operator[](size_t i) const { return raw_[i]; }
+
+  private:
+    HandleTableEntry *entry_ = nullptr;
+    T *raw_ = nullptr;
+};
+
+/**
+ * RAII must-not-move guard: while a pinned<T> lives, neither a
+ * stop-the-world pass nor a concurrent campaign will relocate the
+ * object (barriers see the pin in the unified pin set; campaigns abort
+ * on the pin count). The raw pointer is therefore stable across
+ * safepoints — this is the guard for spans handed to external code or
+ * held across polls. Requires a registered thread (the pin lives in a
+ * stack pin frame; PinFrame enforces the requirement loudly).
+ */
+template <typename T>
+class pinned
+{
+  public:
+    /** Pin a maybe-handle for the guard's lifetime. */
+    explicit pinned(T *maybe_handle) : frame_(&slot_, 1)
+    {
+        // Stack pin set, no atomics — the paper-default idiom, seen by
+        // every stop-the-world barrier.
+        raw_ = static_cast<T *>(
+            frame_.pin(0, static_cast<const void *>(maybe_handle)));
+        if (__builtin_expect(Runtime::translationDiscipline() ==
+                                 TranslationDiscipline::Scoped,
+                             0)) {
+            // Additionally take an atomic pin (ConcurrentPin's
+            // handshake): campaigns check pin counts, not other
+            // threads' stacks, so this is what makes an in-flight
+            // mover abort; the mark-aware re-translation replaces a
+            // possibly marked pointer from the plain path.
+            entry_ = ConcurrentPin::pinFor(maybe_handle);
+            raw_ = static_cast<T *>(translateConcurrent(maybe_handle));
+        }
+    }
+
+    ~pinned() { ConcurrentPin::unpin(entry_); }
+
+    /** Pin an owning box's contents. */
+    explicit pinned(const hbox<T> &box) : pinned(box.get()) {}
+
+    /** Pin through a typed view. */
+    explicit pinned(href<T> ref) : pinned(ref.get()) {}
+
+    pinned(const pinned &) = delete;
+    pinned &operator=(const pinned &) = delete;
+
+    /** The translated raw pointer (stable until the guard drops). */
+    T *get() const { return raw_; }
+    T &operator*() const { return *raw_; }
+    T *operator->() const { return raw_; }
+    /** Element access for array objects. */
+    T &operator[](size_t i) const { return raw_[i]; }
+
+  private:
+    uint64_t slot_ = 0;
+    PinFrame frame_;
+    HandleTableEntry *entry_ = nullptr;
+    T *raw_ = nullptr;
+};
+
+} // namespace alaska
+
+#endif // ALASKA_API_ACCESS_H

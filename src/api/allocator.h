@@ -1,0 +1,285 @@
+/**
+ * @file
+ * alaska::allocator<T> — an STL allocator whose memory lives behind
+ * handles, via the fancy pointer alaska::handle_ptr<T>.
+ *
+ * allocate() returns a handle (tagged, movable by defrag); the
+ * container stores and does arithmetic on handle_ptr values, and every
+ * dereference translates through the mode-aware api::deref. A
+ * std::vector<T, alaska::allocator<T>> therefore keeps working while
+ * Anchorage relocates its backing array — the translation happens per
+ * element access, exactly the conservative placement the compiler
+ * would emit — and the container code itself needs no changes (the
+ * paper's "unmodified application" property, here for C++ containers).
+ *
+ * Same discipline as every per-access idiom: raw pointers escaping a
+ * dereference (including std::to_address / vector::data()) are valid
+ * until the next safepoint under the Direct discipline, and must be
+ * bracketed in an access_scope under Scoped.
+ */
+
+#ifndef ALASKA_API_ALLOCATOR_H
+#define ALASKA_API_ALLOCATOR_H
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <type_traits>
+
+#include "api/access.h"
+#include "api/href.h"
+#include "base/logging.h"
+#include "core/handle.h"
+#include "core/runtime.h"
+
+namespace alaska
+{
+
+/**
+ * A maybe-handle fancy pointer: one pointer wide, holds either a
+ * tagged handle or a raw pointer, translates on dereference, and does
+ * field-safe element arithmetic (see href<T>). Models random access
+ * iterator so allocator-aware containers can use it directly.
+ */
+template <typename T>
+class handle_ptr
+{
+  public:
+    using element_type = T;
+    using value_type = std::remove_cv_t<T>;
+    using difference_type = ptrdiff_t;
+    using pointer = handle_ptr;
+    using reference = std::add_lvalue_reference_t<T>;
+    using iterator_category = std::random_access_iterator_tag;
+
+    /** Rebind hook for std::pointer_traits. */
+    template <typename U>
+    using rebind = handle_ptr<U>;
+
+    constexpr handle_ptr() = default;
+    constexpr handle_ptr(std::nullptr_t) {}
+
+    /** Wrap a maybe-handle (or raw pointer). */
+    constexpr explicit handle_ptr(T *maybe_handle) : value_(maybe_handle)
+    {
+    }
+
+    /** Converting copy (T* must be implicitly convertible from U*). */
+    template <typename U,
+              typename = std::enable_if_t<std::is_convertible_v<U *, T *>>>
+    constexpr handle_ptr(const handle_ptr<U> &other)
+        : value_(other.get())
+    {
+    }
+
+    /** The wrapped maybe-handle value (NOT dereferenceable if tagged). */
+    constexpr T *get() const { return value_; }
+
+    /** Required by std::pointer_traits (containers rebuild pointers
+     *  from references to node members). */
+    template <typename U = T,
+              typename = std::enable_if_t<!std::is_void_v<U>>>
+    static handle_ptr
+    pointer_to(U &r)
+    {
+        return handle_ptr(std::addressof(r));
+    }
+
+    /** Translate and dereference (mode-aware; see api::deref). */
+    reference
+    operator*() const
+        requires(!std::is_void_v<T>)
+    {
+        return *api::deref(value_);
+    }
+
+    /** Translate to the current raw pointer (mode-aware). */
+    T *
+    operator->() const
+        requires(!std::is_void_v<T>)
+    {
+        return api::deref(value_);
+    }
+
+    /** Translated element access. */
+    reference
+    operator[](difference_type i) const
+        requires(!std::is_void_v<T>)
+    {
+        return *api::deref((*this + i).value_);
+    }
+
+    explicit operator bool() const { return value_ != nullptr; }
+
+    // --- random access arithmetic (field-safe, as href<T>) --------------
+    handle_ptr
+    operator+(difference_type n) const
+        requires(!std::is_void_v<T>)
+    {
+        return handle_ptr(
+            (href<T>(value_) + n).get());
+    }
+
+    handle_ptr
+    operator-(difference_type n) const
+        requires(!std::is_void_v<T>)
+    {
+        return *this + (-n);
+    }
+
+    difference_type
+    operator-(const handle_ptr &other) const
+        requires(!std::is_void_v<T>)
+    {
+        return href<T>(value_) - href<T>(other.value_);
+    }
+
+    handle_ptr &
+    operator+=(difference_type n)
+        requires(!std::is_void_v<T>)
+    {
+        value_ = (*this + n).value_;
+        return *this;
+    }
+
+    handle_ptr &
+    operator-=(difference_type n)
+        requires(!std::is_void_v<T>)
+    {
+        return *this += -n;
+    }
+
+    handle_ptr &
+    operator++()
+        requires(!std::is_void_v<T>)
+    {
+        return *this += 1;
+    }
+
+    handle_ptr
+    operator++(int)
+        requires(!std::is_void_v<T>)
+    {
+        handle_ptr old = *this;
+        ++*this;
+        return old;
+    }
+
+    handle_ptr &
+    operator--()
+        requires(!std::is_void_v<T>)
+    {
+        return *this -= 1;
+    }
+
+    handle_ptr
+    operator--(int)
+        requires(!std::is_void_v<T>)
+    {
+        handle_ptr old = *this;
+        --*this;
+        return old;
+    }
+
+    /** Ordering compares the composed values; meaningful within one
+     *  object (same handle) or between raw pointers. */
+    friend bool
+    operator==(const handle_ptr &a, const handle_ptr &b)
+    {
+        return a.value_ == b.value_;
+    }
+
+    friend auto
+    operator<=>(const handle_ptr &a, const handle_ptr &b)
+    {
+        return reinterpret_cast<uint64_t>(a.value_) <=>
+               reinterpret_cast<uint64_t>(b.value_);
+    }
+
+  private:
+    T *value_ = nullptr;
+};
+
+/** n + p, for random-access-iterator completeness. */
+template <typename T>
+inline handle_ptr<T>
+operator+(ptrdiff_t n, const handle_ptr<T> &p)
+{
+    return p + n;
+}
+
+/**
+ * The STL allocator over halloc/hfree. Stateful: it remembers which
+ * Runtime it allocates from (default: the live Runtime::gRuntime);
+ * allocators over the same runtime compare equal. Containers that
+ * outlive the runtime are a use-after-free, exactly as with halloc.
+ */
+template <typename T>
+class allocator
+{
+  public:
+    using value_type = T;
+    using pointer = handle_ptr<T>;
+    using const_pointer = handle_ptr<const T>;
+    using size_type = size_t;
+    using difference_type = ptrdiff_t;
+    using propagate_on_container_move_assignment = std::true_type;
+    using propagate_on_container_copy_assignment = std::true_type;
+    using propagate_on_container_swap = std::true_type;
+    using is_always_equal = std::false_type;
+
+    /** Allocate from the currently live runtime. */
+    allocator() : runtime_(Runtime::gRuntime)
+    {
+        if (runtime_ == nullptr) {
+            fatal("alaska::allocator: no live Runtime — construct one "
+                  "before any handle-backed container");
+        }
+    }
+
+    /** Allocate from a specific runtime. */
+    explicit allocator(Runtime &runtime) : runtime_(&runtime) {}
+
+    template <typename U>
+    allocator(const allocator<U> &other) : runtime_(other.runtime_)
+    {
+    }
+
+    /** Allocate n elements behind one fresh handle. */
+    pointer
+    allocate(size_type n)
+    {
+        if (n > maxObjectElements(sizeof(T))) {
+            fatal("alaska::allocator: %zu elements of %zu bytes exceed "
+                  "the 4 GiB handle offset range",
+                  n, sizeof(T));
+        }
+        return pointer(
+            static_cast<T *>(runtime_->halloc(n * sizeof(T))));
+    }
+
+    /** Free an allocation made by allocate(). */
+    void
+    deallocate(pointer p, size_type)
+    {
+        runtime_->hfree(p.get());
+    }
+
+    size_type max_size() const { return maxObjectElements(sizeof(T)); }
+
+    friend bool
+    operator==(const allocator &a, const allocator &b)
+    {
+        return a.runtime_ == b.runtime_;
+    }
+
+  private:
+    template <typename U>
+    friend class allocator;
+
+    Runtime *runtime_;
+};
+
+} // namespace alaska
+
+#endif // ALASKA_API_ALLOCATOR_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The typed Alaska API — the surface new workloads build on.
+ *
+ * One include pulls in the whole typed layer:
+ *
+ *   hbox<T>       owning, unique, typed handle (href.h/hbox.h):
+ *                 allocates on construction, frees on destruction,
+ *                 move-only, knows its element count.
+ *   href<T>       non-owning typed view with field-safe element
+ *                 arithmetic (offset wrap can never corrupt the ID).
+ *   access<T>     RAII access guard: translates once, valid for the
+ *                 guard's lifetime, picks the correct idiom from
+ *                 Runtime::translationDiscipline() (plain translate
+ *                 under stop-the-world defrag, pin-against-campaigns
+ *                 under concurrent defrag). `alaska::checked` selects
+ *                 the handle-fault-checked path (swap services).
+ *   pinned<T>     must-not-move guard: survives barriers and aborts
+ *                 campaigns; for spans handed to external code.
+ *   access_scope  brackets one application operation; free under
+ *                 stop-the-world, a real ConcurrentAccessScope under
+ *                 concurrent defrag.
+ *   api::deref    per-access translation inside an access_scope (what
+ *                 the KV policies compile to).
+ *   allocator<T>  STL allocator over halloc/hfree via the handle_ptr
+ *                 fancy pointer, so std::vector and friends live
+ *                 behind handles unmodified.
+ *
+ * Everything is header-only and compiles down to the raw surface
+ * (halloc/hfree + translate/translateScoped), which remains the
+ * documented low-level escape hatch: hbox::release()/adopt() bridge
+ * between the two. See docs/API.md for the tour and the rules on which
+ * guard to reach for.
+ */
+
+#ifndef ALASKA_API_API_H
+#define ALASKA_API_API_H
+
+#include "api/access.h"
+#include "api/allocator.h"
+#include "api/hbox.h"
+#include "api/href.h"
+
+#endif // ALASKA_API_API_H

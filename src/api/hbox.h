@@ -1,0 +1,156 @@
+/**
+ * @file
+ * alaska::hbox<T> — an owning, typed, move-only handle box.
+ *
+ * The RAII face of halloc/hfree: construction allocates `count`
+ * elements of T behind a fresh handle (zero-initialized, the hcalloc
+ * path), destruction frees it, and ownership moves like unique_ptr.
+ * The box knows its element count, so guards and views derived from it
+ * can be bounds-talked-about in elements instead of bytes.
+ *
+ * T must be trivially copyable: the runtime relocates backing memory
+ * with byte copies (memcpy in defrag passes and campaigns), which is
+ * only defined for such types — the same constraint the compiler path
+ * imposes on every handle-backed object.
+ *
+ * Dereferencing goes through the guards in access.h (access<T> /
+ * pinned<T>) or, for per-access idioms, api::deref on ref().get(); the
+ * box itself never hands out raw memory. The raw surface stays
+ * available as the escape hatch: release() relinquishes ownership of
+ * the handle for code that manages lifetime by hand.
+ */
+
+#ifndef ALASKA_API_HBOX_H
+#define ALASKA_API_HBOX_H
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "api/href.h"
+#include "base/logging.h"
+#include "core/handle.h"
+#include "core/runtime.h"
+
+namespace alaska
+{
+
+/**
+ * Owning, unique, typed handle. Move-only; frees on destruction.
+ *
+ * Thread-compat: a box is owned by one thread at a time (like
+ * unique_ptr); the *contents* follow the runtime's translation rules.
+ */
+template <typename T>
+class hbox
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "hbox<T> requires trivially copyable T: the runtime "
+                  "relocates objects with byte copies");
+
+  public:
+    /** The empty box. */
+    hbox() = default;
+
+    /**
+     * Allocate `count` zero-initialized elements behind a fresh
+     * handle. Fails fatally (like halloc) if the span exceeds the
+     * 4 GiB offset range.
+     */
+    explicit hbox(Runtime &runtime, size_t count = 1)
+        : runtime_(&runtime), count_(count)
+    {
+        if (count > maxObjectElements(sizeof(T))) {
+            fatal("hbox: %zu elements of %zu bytes exceed the 4 GiB "
+                  "handle offset range",
+                  count, sizeof(T));
+        }
+        handle_ = static_cast<T *>(runtime.hcalloc(count, sizeof(T)));
+    }
+
+    /**
+     * Adopt a raw maybe-handle allocated through the escape hatch
+     * (halloc or a policy): the box takes ownership and will hfree it.
+     */
+    static hbox
+    adopt(Runtime &runtime, T *handle, size_t count)
+    {
+        hbox box;
+        box.runtime_ = &runtime;
+        box.handle_ = handle;
+        box.count_ = count;
+        return box;
+    }
+
+    ~hbox() { reset(); }
+
+    hbox(hbox &&other) noexcept
+        : runtime_(std::exchange(other.runtime_, nullptr)),
+          handle_(std::exchange(other.handle_, nullptr)),
+          count_(std::exchange(other.count_, 0))
+    {
+    }
+
+    hbox &
+    operator=(hbox &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            runtime_ = std::exchange(other.runtime_, nullptr);
+            handle_ = std::exchange(other.handle_, nullptr);
+            count_ = std::exchange(other.count_, 0);
+        }
+        return *this;
+    }
+
+    hbox(const hbox &) = delete;
+    hbox &operator=(const hbox &) = delete;
+
+    /** The owned maybe-handle value; nullptr when empty/moved-from. */
+    T *get() const { return handle_; }
+
+    /** A non-owning typed view of the owned handle. */
+    href<T> ref() const { return href<T>(handle_); }
+
+    /** Element count this box was allocated with. */
+    size_t size() const { return count_; }
+
+    /** Span size in bytes. */
+    size_t sizeBytes() const { return count_ * sizeof(T); }
+
+    /** True unless empty or moved-from. */
+    explicit operator bool() const { return handle_ != nullptr; }
+
+    /**
+     * Relinquish ownership: returns the handle and leaves the box
+     * empty. The caller becomes responsible for hfree — this is the
+     * documented bridge back to the raw API.
+     */
+    T *
+    release()
+    {
+        runtime_ = nullptr;
+        count_ = 0;
+        return std::exchange(handle_, nullptr);
+    }
+
+    /** Free the owned allocation (no-op when empty). */
+    void
+    reset()
+    {
+        if (handle_ != nullptr)
+            runtime_->hfree(handle_);
+        runtime_ = nullptr;
+        handle_ = nullptr;
+        count_ = 0;
+    }
+
+  private:
+    Runtime *runtime_ = nullptr;
+    T *handle_ = nullptr;
+    size_t count_ = 0;
+};
+
+} // namespace alaska
+
+#endif // ALASKA_API_HBOX_H

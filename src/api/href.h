@@ -1,0 +1,153 @@
+/**
+ * @file
+ * alaska::href<T> — a typed, non-owning view of a maybe-handle.
+ *
+ * The raw surface stores handles in ordinary `T *` variables and does
+ * pointer arithmetic directly on them, relying on the paper's §3.2
+ * in-bounds assumption: offset arithmetic that carries out of the
+ * 32-bit offset field silently corrupts the handle-ID field. href<T>
+ * keeps the convenience (it is one `T *` wide, trivially copyable,
+ * coexists with raw pointers) but makes the arithmetic *typed* and
+ * *field-safe*: element arithmetic on a handle recomposes the value
+ * from (id, offset) so the offset wraps within its own 32 bits and the
+ * ID field is never touched.
+ *
+ * An href does not own backing memory (see hbox<T>) and cannot be
+ * dereferenced directly — go through alaska::access<T> /
+ * alaska::pinned<T> (access.h), which pick the translation idiom from
+ * the runtime's active defrag mode.
+ */
+
+#ifndef ALASKA_API_HREF_H
+#define ALASKA_API_HREF_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/handle.h"
+
+namespace alaska
+{
+
+/**
+ * Typed non-owning handle view with field-safe element arithmetic.
+ *
+ * Thread-compat: an href is a value; copies are free and carry no
+ * lifetime. Validity follows the underlying allocation, not the href.
+ */
+template <typename T>
+class href
+{
+  public:
+    /** The null view. */
+    constexpr href() = default;
+
+    /** Wrap a maybe-handle (or raw pointer — both coexist). */
+    constexpr explicit href(T *maybe_handle) : value_(maybe_handle) {}
+
+    /** The wrapped maybe-handle value (NOT dereferenceable if tagged). */
+    constexpr T *get() const { return value_; }
+
+    /** True iff the view wraps a tagged handle (vs a raw pointer). */
+    bool isHandle() const { return alaska::isHandle(value_); }
+
+    /** Handle ID; only meaningful when isHandle(). */
+    uint32_t
+    id() const
+    {
+        return handleId(reinterpret_cast<uint64_t>(value_));
+    }
+
+    /** Byte offset into the object; only meaningful when isHandle(). */
+    uint32_t
+    offset() const
+    {
+        return handleOffset(reinterpret_cast<uint64_t>(value_));
+    }
+
+    explicit operator bool() const { return value_ != nullptr; }
+
+    // --- typed, field-safe element arithmetic ---------------------------
+    /**
+     * Advance by n elements. On a handle the new offset wraps within
+     * the 32-bit offset field (mod 4 GiB) and the ID/tag bits are
+     * recomposed unchanged; on a raw pointer this is plain arithmetic.
+     * Staying in bounds is still the caller's contract (§3.2) — the
+     * field safety only guarantees a wrapped offset never silently
+     * redirects the view to a *different object*.
+     */
+    href
+    operator+(ptrdiff_t n) const
+    {
+        return href(advancedBy(n * static_cast<ptrdiff_t>(sizeof(T))));
+    }
+
+    /** Retreat by n elements (see operator+ for wrap semantics). */
+    href operator-(ptrdiff_t n) const { return *this + (-n); }
+
+    href &
+    operator+=(ptrdiff_t n)
+    {
+        value_ = (*this + n).value_;
+        return *this;
+    }
+
+    href &
+    operator-=(ptrdiff_t n)
+    {
+        value_ = (*this - n).value_;
+        return *this;
+    }
+
+    href &
+    operator++()
+    {
+        return *this += 1;
+    }
+
+    href &
+    operator--()
+    {
+        return *this -= 1;
+    }
+
+    /**
+     * Element distance between two views of the *same object* (same
+     * handle ID, or both raw). For handles the distance is computed in
+     * the offset field alone.
+     */
+    ptrdiff_t
+    operator-(href other) const
+    {
+        if (isHandle() && other.isHandle()) {
+            return (static_cast<ptrdiff_t>(offset()) -
+                    static_cast<ptrdiff_t>(other.offset())) /
+                   static_cast<ptrdiff_t>(sizeof(T));
+        }
+        return value_ - other.value_;
+    }
+
+    bool operator==(const href &other) const = default;
+
+  private:
+    T *
+    advancedBy(ptrdiff_t bytes) const
+    {
+        const uint64_t v = reinterpret_cast<uint64_t>(value_);
+        if (!alaska::isHandle(v)) {
+            return reinterpret_cast<T *>(
+                reinterpret_cast<char *>(value_) + bytes);
+        }
+        // Recompose: the offset wraps mod 2^32, the ID field is rebuilt
+        // from the original value — a carry can never leak into it.
+        const uint32_t off = static_cast<uint32_t>(
+            handleOffset(v) + static_cast<uint64_t>(bytes));
+        return reinterpret_cast<T *>(makeHandle(handleId(v), off));
+    }
+
+    T *value_ = nullptr;
+};
+
+} // namespace alaska
+
+#endif // ALASKA_API_HREF_H

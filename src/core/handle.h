@@ -23,6 +23,7 @@
 #ifndef ALASKA_CORE_HANDLE_H
 #define ALASKA_CORE_HANDLE_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace alaska
@@ -38,6 +39,17 @@ inline constexpr uint64_t handleTagBit = 1ULL << 63;
 inline constexpr uint32_t maxHandleId = 1U << handleIdBits;
 /** Maximum object size representable by the offset field. */
 inline constexpr uint64_t maxObjectSize = 1ULL << handleOffsetBits;
+
+/**
+ * Largest element count a typed span may have while its byte size
+ * stays inside the offset field — the single bound behind every typed
+ * allocation guard (hbox, allocator) and allocator<T>::max_size().
+ */
+constexpr uint64_t
+maxObjectElements(std::size_t elementSize)
+{
+    return maxObjectSize / elementSize;
+}
 
 /** True iff the value is a handle (top bit set). */
 constexpr bool

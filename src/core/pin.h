@@ -36,7 +36,7 @@ class PinFrame
 {
   public:
     PinFrame(uint64_t *slots, uint32_t count)
-        : slots_(slots), state_(Runtime::gRuntime->currentThreadState())
+        : slots_(slots), state_(checkedThreadState())
     {
         for (uint32_t i = 0; i < count; i++)
             slots_[i] = 0;
@@ -77,6 +77,30 @@ class PinFrame
     void release(uint32_t slot) { slots_[slot] = 0; }
 
   private:
+    /**
+     * Pin frames hang off the calling thread's shadow stack, so both a
+     * live runtime and a ThreadRegistration are hard requirements.
+     * Failing loudly here beats the alternative: with no runtime,
+     * `gRuntime->currentThreadState()` is a silent null deref, and the
+     * first symptom would be a corrupt-looking crash far from the
+     * misuse.
+     */
+    static ThreadState &
+    checkedThreadState()
+    {
+        if (Runtime::gRuntime == nullptr) {
+            fatal("PinFrame: no live Runtime — construct a Runtime "
+                  "before pinning handles");
+        }
+        ThreadState *state =
+            Runtime::gRuntime->currentThreadStateOrNull();
+        if (state == nullptr) {
+            fatal("PinFrame: calling thread is not registered with the "
+                  "runtime — create a ThreadRegistration for it first");
+        }
+        return *state;
+    }
+
     uint64_t *slots_;
     ThreadState &state_;
 };
@@ -90,28 +114,11 @@ class PinFrame
     uint64_t name##_slots[n];                                             \
     ::alaska::PinFrame name(name##_slots, n)
 
-/**
- * Single-handle RAII pin for non-performance-critical code: owns a
- * one-slot frame, pins on construction, releases on destruction.
- */
-template <typename T>
-class Pinned
-{
-  public:
-    explicit Pinned(T *maybe_handle) : frame_(&slot_, 1)
-    {
-        raw_ = frame_.pin(0, maybe_handle);
-    }
-
-    T *get() const { return raw_; }
-    T *operator->() const { return raw_; }
-    T &operator*() const { return *raw_; }
-
-  private:
-    uint64_t slot_;
-    PinFrame frame_;
-    T *raw_;
-};
+// NOTE: the one-slot RAII pin that used to live here (Pinned<T>) was
+// replaced by alaska::pinned<T> in api/access.h, which is additionally
+// safe against concurrent relocation campaigns — a stack pin alone is
+// invisible to campaigns, which check HTE pin counts. Keeping a
+// case-only sibling of the safe guard invited silent misuse.
 
 /**
  * Atomic pin-count pinning — the naive strategy the paper's design

@@ -15,6 +15,7 @@ HandleTableEntry *Runtime::gTableBase = nullptr;
 std::atomic<bool> Runtime::gBarrierPending{false};
 Runtime *Runtime::gRuntime = nullptr;
 std::atomic<uint32_t> Runtime::gConcurrentRelocCampaigns{0};
+std::atomic<uint32_t> Runtime::gConcurrentDefragDeclared{0};
 
 namespace
 {

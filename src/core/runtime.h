@@ -29,6 +29,32 @@
 namespace alaska
 {
 
+/**
+ * Which translation idiom mutator-side accessors must use right now.
+ *
+ * The raw surface has two parallel idioms — plain translate() (safe
+ * between safepoints while only stop-the-world defrag runs) and
+ * translateScoped() inside a ConcurrentAccessScope (safe against
+ * background relocation campaigns). The typed api layer (src/api) and
+ * any other mode-aware caller pick between them through
+ * Runtime::translationDiscipline() instead of hard-coding one.
+ */
+enum class TranslationDiscipline
+{
+    /**
+     * Only stop-the-world relocation can occur: plain translate() is
+     * safe until the next safepoint poll, and pin frames alone make a
+     * translation survive barriers.
+     */
+    Direct,
+    /**
+     * Concurrent relocation campaigns are possible: accessors must
+     * bracket operations in a ConcurrentAccessScope (or hold an atomic
+     * pin) so in-flight moves are aborted rather than raced.
+     */
+    Scoped,
+};
+
 /** Pin tracking strategy; AtomicPins exists only for the ablation. */
 enum class PinMode
 {
@@ -220,6 +246,48 @@ class Runtime
     }
 
     /**
+     * Announce that concurrent (non-stop-the-world) relocation may run
+     * until the matching retireConcurrentDefrag(). The
+     * ConcurrentRelocDaemon declares for its lifetime whenever its
+     * controller mode allows campaigns, and every relocation campaign
+     * declares for its own duration; code driving
+     * AnchorageService::relocateCampaign by hand should declare too,
+     * *before* mutators start issuing operations — accessors that
+     * sample translationDiscipline() mid-operation are protected by the
+     * campaign's quiescence wait only if the discipline was already
+     * Scoped when their operation began. Declarations nest.
+     */
+    static void
+    declareConcurrentDefrag()
+    {
+        gConcurrentDefragDeclared.fetch_add(1, std::memory_order_seq_cst);
+    }
+
+    /** Retire one declareConcurrentDefrag() declaration. */
+    static void
+    retireConcurrentDefrag()
+    {
+        gConcurrentDefragDeclared.fetch_sub(1, std::memory_order_seq_cst);
+    }
+
+    /**
+     * The translation idiom mutator accessors must use right now: the
+     * single mode accessor shared by the typed api layer and by any
+     * raw-API caller that wants to pick the idiom dynamically. Scoped
+     * while a concurrent-defrag declaration is outstanding (daemons
+     * declare for their lifetime, campaigns for their duration);
+     * Direct otherwise. One uncontended relaxed load on the fast path.
+     */
+    static TranslationDiscipline
+    translationDiscipline()
+    {
+        return gConcurrentDefragDeclared.load(std::memory_order_relaxed) !=
+                       0
+                   ? TranslationDiscipline::Scoped
+                   : TranslationDiscipline::Direct;
+    }
+
+    /**
      * Wait (without stopping anything) until every registered thread
      * has left the ConcurrentAccessScope it was in, if any. A campaign
      * calls this after raising the active flag: scopes that began
@@ -253,6 +321,8 @@ class Runtime
     static Runtime *gRuntime;
     /** Count of in-flight concurrent-relocation campaigns. */
     static std::atomic<uint32_t> gConcurrentRelocCampaigns;
+    /** Outstanding declareConcurrentDefrag() declarations. */
+    static std::atomic<uint32_t> gConcurrentDefragDeclared;
 
   private:
     friend class ThreadRegistration;

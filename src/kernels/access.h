@@ -7,7 +7,9 @@
  *    the NAS kernels, xz in the paper).
  *  - PerAccessArray: pin+translate before *every* access (what the
  *    compiler emits with hoisting disabled, or for bases it cannot
- *    hoist).
+ *    hoist). Its base is a typed alaska::href<T> view, so the
+ *    per-access interior arithmetic is typed and field-safe (an
+ *    offset carry can never corrupt the handle ID — see api/href.h).
  *
  * Kernels are templated on the accessor, so the same inner loop runs
  * under every Figure 7/8 configuration.
@@ -18,6 +20,8 @@
 
 #include <cstddef>
 #include <cstdint>
+
+#include "api/href.h"
 
 namespace alaska::kernels
 {
@@ -45,32 +49,45 @@ class PerAccessArray
 {
   public:
     PerAccessArray(typename P::Frame &frame, int slot, void *maybe_handle)
-        : frame_(frame), slot_(slot), handle_(maybe_handle)
+        : frame_(frame), slot_(slot),
+          handle_(static_cast<T *>(maybe_handle))
     {}
 
     T
     load(size_t i) const
     {
-        return static_cast<T *>(frame_.pin(slot_, handle_))[i];
+        return *translated(i);
     }
 
     void
     store(size_t i, T v) const
     {
-        static_cast<T *>(frame_.pin(slot_, handle_))[i] = v;
+        *translated(i) = v;
     }
 
-    /** Raw pointer for an escape (still pinned). */
+    /** Raw base pointer for an escape (still pinned). */
     T *
     raw() const
     {
-        return static_cast<T *>(frame_.pin(slot_, handle_));
+        return translated(0);
     }
 
   private:
+    /**
+     * The per-access sequence the compiler emits for an unhoisted
+     * subscript: typed interior arithmetic on the handle (plain ALU
+     * ops), then pin+translate of the resulting interior handle.
+     */
+    T *
+    translated(size_t i) const
+    {
+        return static_cast<T *>(frame_.pin(
+            slot_, (handle_ + static_cast<ptrdiff_t>(i)).get()));
+    }
+
     typename P::Frame &frame_;
     int slot_;
-    void *handle_;
+    href<T> handle_;
 };
 
 } // namespace alaska::kernels

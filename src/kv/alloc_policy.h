@@ -11,13 +11,21 @@
  *  - AlaskaAlloc: halloc/hfree; every pointer the structure stores may
  *    be a handle, and deref() is the translation the compiler would
  *    have inserted (per-access granularity, i.e. the conservative
- *    no-hoisting placement). Works with any attached service,
- *    including Anchorage — which defragments these structures with
- *    *zero* cooperation from the KV code.
+ *    no-hoisting placement), routed through the typed layer's
+ *    mode-aware api::deref so the same policy is safe under
+ *    stop-the-world *and* background-campaign defrag. Works with any
+ *    attached service, including Anchorage — which defragments these
+ *    structures with *zero* cooperation from the KV code.
  *  - ModelAlloc<M>: an AllocModel (jemalloc/glibc model over a real
  *    address space) with the defrag-hint API; this is what the
  *    activedefrag port (minikv::defragCycle) needs, mirroring
  *    Redis+jemalloc.
+ *
+ * The handle-based policies are part of the raw API's internals: they
+ * hand raw maybe-handles to C-style structures (sds/dict) that manage
+ * lifetime explicitly, so allocation stays on the halloc/hfree escape
+ * hatch — but every dereference goes through the typed access layer,
+ * which is what makes the stores defrag-mode-agnostic.
  */
 
 #ifndef ALASKA_KV_ALLOC_POLICY_H
@@ -27,9 +35,8 @@
 #include <cstdlib>
 
 #include "alloc_sim/alloc_model.h"
+#include "api/access.h"
 #include "core/runtime.h"
-#include "core/translate.h"
-#include "services/concurrent_reloc.h"
 
 namespace alaska::kv
 {
@@ -58,6 +65,16 @@ class LibcAlloc
 /**
  * Handle-based: the structure's pointers are Alaska handles.
  *
+ * deref() is the typed layer's mode-aware translation (api::deref):
+ * the plain one-load translate while only stop-the-world defrag can
+ * run, and the scoped mark-aware translation while background
+ * campaigns are possible. Under the Scoped discipline callers must
+ * bracket each KV operation in an alaska::access_scope (the
+ * multi-threaded YCSB driver and the contention tests do); every
+ * pointer deref'd inside the scope then stays valid until the scope
+ * closes. Under Direct, the raw pointer is stable until the next
+ * safepoint — KV operations run between polls, as compiled code would.
+ *
  * Shard affinity: halloc routes through the Anchorage service's
  * per-shard sub-heap chains when Anchorage backs the runtime, so a KV
  * store driven by one thread allocates entirely inside that thread's
@@ -76,16 +93,14 @@ class AlaskaAlloc
     void free(void *ptr) { runtime_.hfree(ptr); }
 
     /**
-     * The compiler-inserted translation, at per-access granularity.
-     * NOTE: the returned raw pointer is only stable until the next
-     * safepoint; KV operations run between polls, as compiled code
-     * would.
+     * The compiler-inserted translation, at per-access granularity,
+     * routed through the unified typed-API guard path.
      */
     template <typename T>
     static T *
     deref(T *ptr)
     {
-        return static_cast<T *>(translate(ptr));
+        return api::deref(ptr);
     }
 
     /** Anchorage needs no application cooperation to defragment. */
@@ -98,43 +113,11 @@ class AlaskaAlloc
 };
 
 /**
- * Handle-based and safe against the background relocator: deref goes
- * through the scoped mark-aware translation, which is the plain
- * one-load translate while no campaign runs and a pin+abort-protocol
- * translation while one does. Callers must bracket each KV operation
- * in a ConcurrentAccessScope (the multi-threaded YCSB driver and the
- * contention tests do); every pointer deref'd inside the scope stays
- * valid until the scope closes. Same shard affinity as AlaskaAlloc:
- * per-thread stores allocate shard-locally, which is what lets the
- * 8-thread YCSB driver scale past the old single service lock.
+ * Historical name for the campaign-safe policy. Since the typed layer
+ * made deref mode-aware, the one policy serves both defrag modes —
+ * the alias remains so existing stores and tests read as intended.
  */
-class AlaskaConcurrentAlloc
-{
-  public:
-    static constexpr bool handleBased = true;
-
-    explicit AlaskaConcurrentAlloc(Runtime &runtime) : runtime_(runtime)
-    {
-    }
-
-    void *alloc(size_t size) { return runtime_.halloc(size); }
-    void free(void *ptr) { runtime_.hfree(ptr); }
-
-    template <typename T>
-    static T *
-    deref(T *ptr)
-    {
-        return static_cast<T *>(translateScoped(ptr));
-    }
-
-    /** Anchorage needs no application cooperation to defragment. */
-    bool shouldMove(const void *) const { return false; }
-
-    Runtime &runtime() { return runtime_; }
-
-  private:
-    Runtime &runtime_;
-};
+using AlaskaConcurrentAlloc = AlaskaAlloc;
 
 /** An AllocModel (jemalloc-like) behind the policy interface. */
 template <typename M>

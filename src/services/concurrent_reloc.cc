@@ -80,33 +80,17 @@ translateConcurrent(const void *maybe_handle)
     return static_cast<char *>(ptr) + static_cast<uint32_t>(v);
 }
 
-ConcurrentPin::ConcurrentPin(const void *maybe_handle)
-{
-    const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
-    if (isHandle(v)) {
-        entry_ = &Runtime::gRuntime->table().entry(handleId(v));
-        // seq_cst: the increment must be globally ordered against the
-        // mover's mark/pin-check pair.
-        entry_->state.fetch_add(HandleTableEntry::pinCountOne,
-                                std::memory_order_seq_cst);
-    }
-    raw_ = translateConcurrent(maybe_handle);
-}
-
-ConcurrentPin::~ConcurrentPin()
-{
-    if (entry_) {
-        entry_->state.fetch_sub(HandleTableEntry::pinCountOne,
-                                std::memory_order_seq_cst);
-    }
-}
-
 // --- scoped concurrent access ----------------------------------------------
 
 namespace creloc_detail
 {
 
-thread_local bool tlsScopePinning = false;
+// local-exec: this library only ever links statically into the final
+// executable, so the flag can skip the GOT indirection — together with
+// constinit this makes the translateScoped() fast path a single
+// %fs-relative load (verified in handle_alloc_bench section 3).
+thread_local constinit bool
+    __attribute__((tls_model("local-exec"))) tlsScopePinning = false;
 
 namespace
 {

@@ -65,18 +65,59 @@ void *translateConcurrent(const void *maybe_handle);
 /**
  * Pin guard for mutators racing with concurrent relocation. Orders an
  * atomic pin-count increment before the translation so a mover always
- * observes either the pin or the mark-clear.
+ * observes either the pin or the mark-clear. This is the one
+ * implementation of the pin half of the mover handshake; the typed
+ * api guards hold one rather than re-deriving the protocol. Inline
+ * (including the destructor) so guards composed from it stay
+ * optimizable in translation-heavy loops.
  */
 class ConcurrentPin
 {
   public:
-    explicit ConcurrentPin(const void *maybe_handle);
-    ~ConcurrentPin();
+    explicit ConcurrentPin(const void *maybe_handle)
+        : entry_(pinFor(maybe_handle)),
+          raw_(translateConcurrent(maybe_handle))
+    {
+    }
+
+    ~ConcurrentPin() { unpin(entry_); }
 
     ConcurrentPin(const ConcurrentPin &) = delete;
     ConcurrentPin &operator=(const ConcurrentPin &) = delete;
 
     void *get() const { return raw_; }
+
+    /**
+     * The pin half of the handshake, for guards composed from this
+     * protocol (the typed api guards): pin the value's entry and
+     * return it, or nullptr for raw pointers. Pair with unpin(); the
+     * caller must translate through translateConcurrent() *after* the
+     * pin so the mover observes either the pin or the mark-clear.
+     */
+    static HandleTableEntry *
+    pinFor(const void *maybe_handle)
+    {
+        const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
+        if (!isHandle(v))
+            return nullptr;
+        HandleTableEntry *entry =
+            &Runtime::gRuntime->table().entry(handleId(v));
+        // seq_cst: the increment must be globally ordered against the
+        // mover's mark/pin-check pair.
+        entry->state.fetch_add(HandleTableEntry::pinCountOne,
+                               std::memory_order_seq_cst);
+        return entry;
+    }
+
+    /** Drop a pin taken by pinFor(); nullptr is a no-op. */
+    static void
+    unpin(HandleTableEntry *entry)
+    {
+        if (entry) {
+            entry->state.fetch_sub(HandleTableEntry::pinCountOne,
+                                   std::memory_order_seq_cst);
+        }
+    }
 
   private:
     HandleTableEntry *entry_ = nullptr;
@@ -90,8 +131,11 @@ namespace creloc_detail
  * True while the innermost ConcurrentAccessScope on this thread decided
  * to pin (i.e. a campaign was active when the scope opened). Read by
  * the translateScoped() fast path; written only by the scope.
+ * constinit: without it, every access from another TU calls the TLS
+ * init wrapper, which costs ~20% on the translation fast path.
  */
-extern thread_local bool tlsScopePinning;
+extern thread_local constinit bool tlsScopePinning
+    __attribute__((tls_model("local-exec")));
 
 /** Slow path: pin the handle into the scope's log, then translate. */
 void *pinScopedAndTranslate(const void *maybe_handle);

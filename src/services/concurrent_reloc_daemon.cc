@@ -23,13 +23,24 @@ ConcurrentRelocDaemon::ConcurrentRelocDaemon(
     Runtime &runtime, anchorage::AnchorageService &service,
     anchorage::ControlParams params)
     : runtime_(runtime), service_(service),
-      controller_(service, clock_, params)
+      controller_(service, clock_, params),
+      declaresConcurrentDefrag_(params.mode !=
+                                anchorage::DefragMode::StopTheWorld)
 {
+    // Campaigns are possible for this daemon's whole lifetime (Hybrid
+    // falls back to STW but may resume campaigns), so the Scoped
+    // translation discipline must be visible to mutators before the
+    // first tick — declare here, not in start(), so constructing the
+    // daemon before spawning mutators is sufficient.
+    if (declaresConcurrentDefrag_)
+        Runtime::declareConcurrentDefrag();
 }
 
 ConcurrentRelocDaemon::~ConcurrentRelocDaemon()
 {
     stop();
+    if (declaresConcurrentDefrag_)
+        Runtime::retireConcurrentDefrag();
 }
 
 void

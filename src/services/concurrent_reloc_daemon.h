@@ -118,6 +118,13 @@ class ConcurrentRelocDaemon
     /** Touched only by the daemon thread once start()ed. */
     anchorage::DefragController controller_;
 
+    /**
+     * True when the configured mode permits campaigns: the constructor
+     * then declares the Scoped translation discipline
+     * (Runtime::declareConcurrentDefrag) until destruction.
+     */
+    bool declaresConcurrentDefrag_ = false;
+
     std::thread thread_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;

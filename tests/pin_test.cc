@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/access.h"
 #include "core/malloc_service.h"
 #include "core/pin.h"
 #include "core/runtime.h"
@@ -136,7 +137,7 @@ TEST_F(PinTest, PinnedHelperReleasesOnScopeExit)
     void *h = runtime_.halloc(sizeof(int));
     const uint32_t id = handleId(reinterpret_cast<uint64_t>(h));
     {
-        Pinned<int> p(static_cast<int *>(h));
+        pinned<int> p(static_cast<int *>(h));
         *p = 9;
         runtime_.barrier([&](const PinnedSet &pinned) {
             EXPECT_TRUE(pinned.contains(id));
