@@ -21,9 +21,13 @@
  *
  * Section 3 — translation: the raw translate() fast path against the
  * typed layer it compiles down to (api::deref, the access<T> guard,
- * and an access_scope-bracketed op), all under the stop-the-world
- * discipline. This is the zero-overhead check for src/api: the typed
- * columns must sit within noise of the raw column.
+ * and an access_scope-bracketed op), first under the stop-the-world
+ * discipline and then under Scoped — idle and with a campaign flagged
+ * in flight. This is the zero-overhead check for src/api and for the
+ * epoch rework: the typed columns must sit within noise of the raw
+ * column, and scope-bracketed derefs under Scoped must stay within a
+ * few percent of raw (the epoch publish amortizes over the operation;
+ * no per-deref RMW remains).
  *
  * Workload: each thread owns a window of live IDs (or handles) and
  * repeatedly releases a slot and allocates a replacement, which is the
@@ -43,8 +47,10 @@
 #include "api/api.h"
 #include "base/logging.h"
 #include "base/timer.h"
+#include "bench/bench_util.h"
 #include "core/handle_table.h"
 #include "core/malloc_service.h"
+#include "services/concurrent_reloc.h"
 #include "sim/address_space.h"
 
 namespace
@@ -223,7 +229,10 @@ benchHalloc(int nThreads, size_t shards)
 // --- section 3: raw translate vs the typed guard path -----------------------
 
 constexpr int kDerefReps = 20000;
-constexpr int kDerefTrials = 5;
+// Trials interleave the columns round-robin and each column keeps its
+// best; 9 rounds (~a second) rides out the multi-hundred-millisecond
+// scheduling swings of a shared host that best-of-5 still fell into.
+constexpr int kDerefTrials = 9;
 
 /**
  * One timed pass: sum an int64 out of every object in the window,
@@ -247,8 +256,35 @@ derefPass(void *const *window, LoadFn &&loadFn)
     return sec;
 }
 
+/**
+ * One timed scope+deref pass: one access_scope per kOpSize-access
+ * operation (the policy-layer granularity), api::deref inside.
+ * @return seconds taken.
+ */
+constexpr int kOpSize = 16;
+
+double
+scopedDerefPass(void *const *window)
+{
+    int64_t checksum = 0;
+    Stopwatch watch;
+    for (int rep = 0; rep < kDerefReps; rep++) {
+        for (int base = 0; base < kWindow; base += kOpSize) {
+            access_scope op;
+            for (int i = 0; i < kOpSize; i++) {
+                checksum += api::deref(static_cast<int64_t *>(
+                    window[base + i]))[rep % (kObjectSize / 8)];
+            }
+        }
+    }
+    const double sec = watch.elapsedSec();
+    if (checksum == 0x7fffffffffffffff)
+        std::printf("(unlikely checksum)\n");
+    return sec;
+}
+
 void
-benchTypedGuards()
+benchTypedGuards(alaska::bench::JsonReport *report)
 {
     MallocService service;
     Runtime runtime(RuntimeConfig{.tableCapacity = kTableCapacity});
@@ -262,48 +298,39 @@ benchTypedGuards()
         for (size_t j = 0; j < kObjectSize / sizeof(int64_t); j++)
             raw[j] = i + static_cast<int64_t>(j);
     }
+    const double ops = static_cast<double>(kDerefReps) * kWindow / 1e6;
 
-    // Interleave the four configurations round-robin and keep each
-    // one's best trial: throughput on a shared host drifts on
-    // millisecond scales, and measuring the columns back-to-back would
-    // fold that drift into the comparison.
-    constexpr int kOpSize = 16;
+    // Interleave the configurations round-robin and keep each one's
+    // best trial: throughput on a shared host drifts on millisecond
+    // scales, and measuring the columns back-to-back would fold that
+    // drift into the comparison. All trials still land in the JSON
+    // report so the baseline diff can see the spread.
+    auto track = [&](const char *metric, double sec, double &best) {
+        best = std::min(best, sec);
+        if (report != nullptr)
+            report->add(metric, ops / sec, "Mops");
+    };
     double best[4] = {1e30, 1e30, 1e30, 1e30};
     for (int trial = 0; trial < kDerefTrials; trial++) {
-        best[0] = std::min(
-            best[0], derefPass(window, [](void *h, int rep) {
-                return static_cast<int64_t *>(
-                    translate(h))[rep % (kObjectSize / 8)];
-            }));
-        best[1] = std::min(
-            best[1], derefPass(window, [](void *h, int rep) {
-                return api::deref(
-                    static_cast<int64_t *>(h))[rep % (kObjectSize / 8)];
-            }));
-        best[2] = std::min(
-            best[2], derefPass(window, [](void *h, int rep) {
-                alaska::access<int64_t> guard(static_cast<int64_t *>(h));
-                return guard[rep % (kObjectSize / 8)];
-            }));
-        // access_scope at its real granularity: one scope per
-        // *operation* (a pass over kOpSize objects, a KV-request-sized
-        // unit), per-access derefs inside it.
-        int64_t checksum = 0;
-        Stopwatch watch;
-        for (int rep = 0; rep < kDerefReps; rep++) {
-            for (int base = 0; base < kWindow; base += kOpSize) {
-                access_scope op;
-                for (int i = 0; i < kOpSize; i++) {
-                    checksum += api::deref(static_cast<int64_t *>(
-                        window[base + i]))[rep % (kObjectSize / 8)];
-                }
-            }
-        }
-        best[3] = std::min(best[3], watch.elapsedSec());
-        if (checksum == 0x7fffffffffffffff)
-            std::printf("(unlikely checksum)\n");
+        track("deref.raw_mops", derefPass(window, [](void *h, int rep) {
+                  return static_cast<int64_t *>(
+                      translate(h))[rep % (kObjectSize / 8)];
+              }),
+              best[0]);
+        track("deref.api_deref_mops",
+              derefPass(window, [](void *h, int rep) {
+                  return api::deref(
+                      static_cast<int64_t *>(h))[rep % (kObjectSize / 8)];
+              }),
+              best[1]);
+        track("deref.access_guard_mops",
+              derefPass(window, [](void *h, int rep) {
+                  alaska::access<int64_t> guard(static_cast<int64_t *>(h));
+                  return guard[rep % (kObjectSize / 8)];
+              }),
+              best[2]);
+        track("deref.scope_deref_mops", scopedDerefPass(window), best[3]);
     }
-    const double ops = static_cast<double>(kDerefReps) * kWindow / 1e6;
     const double raw = ops / best[0];
     const double typed_deref = ops / best[1];
     const double typed_guard = ops / best[2];
@@ -324,6 +351,60 @@ benchTypedGuards()
     std::printf("%-16s %14s %13.2fx %13.2fx %13.2fx\n", "vs raw", "-",
                 typed_deref / raw, typed_guard / raw, typed_scope / raw);
 
+    // --- the same derefs under the Scoped discipline ------------------------
+    // The epoch rework's target: scope-bracketed derefs pay only the
+    // per-operation epoch publish (plus, campaign-flagged, the
+    // mark-aware seq_cst load) — never a per-deref RMW.
+    Runtime::declareConcurrentDefrag();
+    double sbest[4] = {1e30, 1e30, 1e30, 1e30};
+    for (int trial = 0; trial < kDerefTrials; trial++) {
+        track("scoped.raw_mops",
+              derefPass(window, [](void *h, int rep) {
+                  return static_cast<int64_t *>(
+                      translate(h))[rep % (kObjectSize / 8)];
+              }),
+              sbest[0]);
+        {
+            // The per-deref acceptance bar: inside an already-open
+            // scope, api::deref is the translateScoped fast path —
+            // one thread-local test over raw translate, no RMW — and
+            // must stay within a few percent of the raw column.
+            ConcurrentAccessScope pass_scope;
+            track("scoped.api_deref_mops",
+                  derefPass(window, [](void *h, int rep) {
+                      return api::deref(static_cast<int64_t *>(
+                          h))[rep % (kObjectSize / 8)];
+                  }),
+                  sbest[1]);
+        }
+        track("scoped.scope_deref_mops", scopedDerefPass(window),
+              sbest[2]);
+        // With a campaign flagged in flight, scopes go mark-aware:
+        // every deref is a seq_cst load plus a mark test.
+        Runtime::gConcurrentRelocCampaigns.fetch_add(1);
+        track("scoped.campaign_scope_deref_mops", scopedDerefPass(window),
+              sbest[3]);
+        Runtime::gConcurrentRelocCampaigns.fetch_sub(1);
+    }
+    Runtime::retireConcurrentDefrag();
+    const double s_raw = ops / sbest[0];
+    const double s_deref = ops / sbest[1];
+    const double s_scope = ops / sbest[2];
+    const double s_campaign = ops / sbest[3];
+
+    std::printf("\n# translation throughput, Scoped discipline (epoch "
+                "scopes; campaign column has a relocation\n"
+                "# campaign flagged in flight, so derefs take the "
+                "mark-aware path; api::deref runs inside one\n"
+                "# open scope — the marginal per-deref cost, the "
+                "epoch rework's within-5%%-of-raw target)\n\n");
+    std::printf("%-16s %14s %14s %14s %17s\n", "", "raw translate",
+                "api::deref", "scope+deref", "campaign+deref");
+    std::printf("%-16s %14.2f %14.2f %14.2f %17.2f\n", "Mops/s", s_raw,
+                s_deref, s_scope, s_campaign);
+    std::printf("%-16s %14s %13.2fx %13.2fx %16.2fx\n", "vs raw", "-",
+                s_deref / s_raw, s_scope / s_raw, s_campaign / s_raw);
+
     for (int i = 0; i < kWindow; i++)
         runtime.hfree(window[i]);
 }
@@ -331,8 +412,20 @@ benchTypedGuards()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *out_file = nullptr;
+    for (int i = 1; i < argc; i++) {
+        if (const char *v = alaska::bench::outFileArg(argv[i])) {
+            out_file = v;
+        } else {
+            std::fprintf(stderr, "usage: %s [--out=FILE]\n", argv[0]);
+            return 2;
+        }
+    }
+    alaska::bench::JsonReport report;
+    alaska::bench::JsonReport *rp = out_file ? &report : nullptr;
+
     std::printf("# Handle allocate/release throughput "
                 "(M release+allocate pairs per second)\n");
     std::printf("# window=%d live IDs/thread, %d pairs/thread\n\n",
@@ -346,6 +439,13 @@ main()
         const double magazine = benchMagazine(nThreads);
         std::printf("%-8d %14.2f %14.2f %14.2f %9.2fx\n", nThreads, base,
                     sharded, magazine, magazine / base);
+        if (rp != nullptr) {
+            const std::string prefix =
+                "id_alloc.t" + std::to_string(nThreads);
+            rp->add(prefix + ".single_mutex_mops", base, "Mops");
+            rp->add(prefix + ".sharded_mops", sharded, "Mops");
+            rp->add(prefix + ".magazine_mops", magazine, "Mops");
+        }
     }
 
     std::printf("\n# halloc/hfree throughput over Anchorage "
@@ -360,8 +460,17 @@ main()
         const double sharded = benchHalloc(nThreads, 8);
         std::printf("%-8d %14.2f %14.2f %9.2fx\n", nThreads, single,
                     sharded, sharded / single);
+        if (rp != nullptr) {
+            const std::string prefix =
+                "halloc.t" + std::to_string(nThreads);
+            rp->add(prefix + ".shards1_mops", single, "Mops");
+            rp->add(prefix + ".shards8_mops", sharded, "Mops");
+        }
     }
 
-    benchTypedGuards();
+    benchTypedGuards(rp);
+    if (out_file != nullptr &&
+        !report.writeTo(out_file, "handle_alloc_bench"))
+        return 1;
     return 0;
 }

@@ -41,6 +41,7 @@
 #include "api/api.h"
 #include "base/stats.h"
 #include "base/timer.h"
+#include "bench/bench_util.h"
 #include "kv/alloc_policy.h"
 #include "kv/minikv.h"
 #include "services/concurrent_reloc_daemon.h"
@@ -109,7 +110,8 @@ runWorkloads(A &alloc, uint64_t records, uint64_t ops)
 }
 
 void
-runSingleThreadSection(uint64_t records, uint64_t ops)
+runSingleThreadSection(uint64_t records, uint64_t ops,
+                       alaska::bench::JsonReport *report)
 {
     std::printf("=== par.5.5 response latency: YCSB on minikv, "
                 "baseline vs Alaska+Anchorage ===\n\n");
@@ -143,6 +145,15 @@ runSingleThreadSection(uint64_t records, uint64_t ops)
                 alaska_lat.update_us,
                 (alaska_lat.update_us / baseline.update_us - 1) * 100,
                 (alaska_lat.update_us - baseline.update_us) * 1e3);
+    if (report != nullptr) {
+        report->add("single.baseline_read_us", baseline.read_us, "us");
+        report->add("single.baseline_update_us", baseline.update_us,
+                    "us");
+        report->add("single.anchorage_read_us", alaska_lat.read_us,
+                    "us");
+        report->add("single.anchorage_update_us", alaska_lat.update_us,
+                    "us");
+    }
     std::printf("\npaper: ~13%% on reads (workload A), ~17%% on "
                 "updates (workload F) — translation plus the\n"
                 "lower-throughput Anchorage allocator. NOTE: the paper "
@@ -346,10 +357,41 @@ runMode(anchorage::DefragMode mode, int threads, size_t shards,
     return result;
 }
 
+/** Fold one mode's result into the JSON report under a prefix. */
+void
+reportMode(alaska::bench::JsonReport &report, const std::string &prefix,
+           const ModeResult &r)
+{
+    report.add(prefix + ".read_p50_us", r.read_p50, "us");
+    report.add(prefix + ".read_p99_us", r.read_p99, "us");
+    report.add(prefix + ".read_p999_us", r.read_p999, "us");
+    report.add(prefix + ".update_p50_us", r.update_p50, "us");
+    report.add(prefix + ".update_p99_us", r.update_p99, "us");
+    report.add(prefix + ".update_p999_us", r.update_p999, "us");
+    report.add(prefix + ".throughput_mops",
+               static_cast<double>(r.total_ops) / r.wall_sec / 1e6,
+               "Mops");
+    report.add(prefix + ".frag_before", r.frag_before);
+    report.add(prefix + ".frag_after", r.frag_after);
+    report.add(prefix + ".frag_min", r.frag_min);
+    report.add(prefix + ".barriers", static_cast<double>(r.barriers));
+    report.add(prefix + ".pause_ms", r.pause_sec * 1e3, "ms");
+    report.add(prefix + ".abort_rate", r.totals.abortRate());
+    report.add(prefix + ".committed",
+               static_cast<double>(r.totals.committed));
+    report.add(prefix + ".limbo_parked",
+               static_cast<double>(r.totals.limboParked));
+    report.add(prefix + ".grace_waits",
+               static_cast<double>(r.totals.graceWaits));
+    report.add(prefix + ".grace_wait_ms", r.totals.graceWaitSec * 1e3,
+               "ms");
+}
+
 void
 runMultiThreadSection(int threads, size_t shards,
                       uint64_t records_per_thread,
-                      uint64_t ops_per_thread)
+                      uint64_t ops_per_thread,
+                      alaska::bench::JsonReport *report)
 {
     std::printf("=== YCSB-A tail latency at %d mutator threads with "
                 "background defrag ===\n"
@@ -437,6 +479,24 @@ runMultiThreadSection(int threads, size_t shards,
     std::printf("%-30s %13.3f  %13.3f  %13.3f\n", "campaign abort rate",
                 stw.totals.abortRate(), conc.totals.abortRate(),
                 conc1.totals.abortRate());
+    std::printf("%-30s %13zu  %13zu  %13zu\n", "campaign grace waits",
+                static_cast<size_t>(stw.totals.graceWaits),
+                static_cast<size_t>(conc.totals.graceWaits),
+                static_cast<size_t>(conc1.totals.graceWaits));
+    row("campaign grace wait time", stw.totals.graceWaitSec * 1e3,
+        conc.totals.graceWaitSec * 1e3, conc1.totals.graceWaitSec * 1e3,
+        "ms");
+    std::printf("%-30s %13zu  %13zu  %13zu\n", "sources limbo-parked",
+                static_cast<size_t>(stw.totals.limboParked),
+                static_cast<size_t>(conc.totals.limboParked),
+                static_cast<size_t>(conc1.totals.limboParked));
+
+    if (report != nullptr) {
+        reportMode(*report, "stw", stw);
+        reportMode(*report, "conc", conc);
+        if (shards != 1)
+            reportMode(*report, "conc1", conc1);
+    }
 
     std::printf("\nConcurrent mode must show zero barriers (relocation "
                 "is speculative, paper par.7): defrag\n"
@@ -471,6 +531,7 @@ main(int argc, char **argv)
     uint64_t mops = 300000;
     bool single_only = false;
     bool multi_only = false;
+    const char *out_file = nullptr;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -501,20 +562,27 @@ main(int argc, char **argv)
             single_only = true;
         } else if (arg == "--multi-only") {
             multi_only = true;
+        } else if (const char *v = alaska::bench::outFileArg(argv[i])) {
+            out_file = v; // points into argv, which outlives the loop
         } else {
             std::fprintf(stderr,
                          "usage: %s [--smoke] [--threads=N] "
                          "[--shards=N] [--records=N] [--ops=N] "
                          "[--mrecords=N] [--mops=N] [--single-only] "
-                         "[--multi-only]\n",
+                         "[--multi-only] [--out=FILE]\n",
                          argv[0]);
             return 2;
         }
     }
 
+    alaska::bench::JsonReport report;
+    alaska::bench::JsonReport *rp = out_file ? &report : nullptr;
     if (!multi_only)
-        runSingleThreadSection(records, ops);
+        runSingleThreadSection(records, ops, rp);
     if (!single_only)
-        runMultiThreadSection(threads, shards, mrecords, mops);
+        runMultiThreadSection(threads, shards, mrecords, mops, rp);
+    if (out_file != nullptr &&
+        !report.writeTo(out_file, "tab_ycsb_latency"))
+        return 1;
     return 0;
 }

@@ -7,6 +7,26 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# TSAN mode (`scripts/check.sh --tsan`): build the concurrency suites
+# under ThreadSanitizer in a separate tree and run just them — the
+# three suites that drive the epoch-scope / pin-handshake /
+# grace-deferred-reclaim protocol end to end (the full suite under
+# TSAN is slow and mostly single-threaded). The intentional
+# mark-window copy race is whitelisted in base/speculative_copy.h;
+# anything else TSAN reports is a real protocol bug.
+if [ "${1:-}" = "--tsan" ]; then
+    cmake -B build-tsan -S . -DALASKA_TSAN=ON
+    cmake --build build-tsan -j "$(nproc)" --target \
+        concurrent_reloc_daemon_test --target \
+        handle_shard_stress_test --target epoch_grace_test
+    for t in concurrent_reloc_daemon_test handle_shard_stress_test \
+             epoch_grace_test; do
+        ./build-tsan/"$t"
+    done
+    echo "tsan OK"
+    exit 0
+fi
+
 # Docs gate: public headers in src/core/, src/api/, src/anchorage/ and
 # src/services/ must document every public class (the raw and typed
 # API contracts and the locking/shard-affinity contracts live there;
@@ -26,10 +46,20 @@ ctest --output-on-failure -j "$(nproc)"
 # smoke additionally asserts the batched-defrag invariant: no single
 # barrier of a batched pass moves more than its batch budget.
 ./handle_alloc_bench > /dev/null
-./tab_ycsb_latency --smoke --shards=8 > /dev/null
+./tab_ycsb_latency --smoke --shards=8 --out=bench_ycsb.json > /dev/null
 ./tab_ycsb_latency --smoke --multi-only --shards=1 > /dev/null
 ./fig12_memcached_pauses --smoke > /dev/null
 echo "bench smoke OK"
+
+# Bench regression gate: the sharded YCSB smoke's JSON is diffed
+# against the committed baseline — structural changes (metric set,
+# units) fail; numeric drift beyond the per-metric noise band only
+# warns (pass --strict in a quiet environment to enforce it).
+if command -v python3 > /dev/null 2>&1; then
+    python3 ../scripts/diff_bench.py ../BENCH_ycsb.json bench_ycsb.json
+else
+    echo "diff_bench skipped (no python3)"
+fi
 
 # Example smoke: every example binary must run to completion — the
 # examples are the typed-API documentation that compiles, so they may

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Diff a fresh benchmark JSON report against a committed baseline.
+
+Both files are JsonReport output (bench/bench_util.h): a structural
+checksum over the sorted metric names plus per-metric summaries
+(median/p95/p999/CV). The diff separates two failure classes:
+
+  * structural drift — the checksum (metric set) changed, or the bench
+    name differs. This means the harness itself changed shape; the fix
+    is to regenerate the committed baseline, and the diff FAILS so that
+    can't happen silently.
+  * numeric drift — a metric's median moved outside its noise band.
+    Shared-host timings are jittery, so this only WARNS by default;
+    --strict promotes it to a failure for quiet machines.
+
+The noise band per metric is max(--band, k * cv) relative: a metric
+that recorded its own run-to-run spread (cv > 0) gets a band scaled to
+that spread (k = 4 sample standard deviations on either side), and
+everything gets at least the generous flat band (default 60%) that a
+timeshared CI box needs. Count-like exact metrics (cv == 0, integral
+medians, unitless) still get the flat band — many of them (barriers,
+abort counts) are workload-dependent, not deterministic.
+
+Usage: diff_bench.py BASELINE FRESH [--band=0.6] [--strict]
+Exit: 0 ok (warnings allowed), 1 structural mismatch (or numeric drift
+with --strict), 2 usage/IO error.
+"""
+
+import json
+import sys
+
+CV_SIGMAS = 4.0
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"diff_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    for key in ("bench", "checksum", "metrics"):
+        if key not in doc:
+            print(f"diff_bench: {path}: missing '{key}'", file=sys.stderr)
+            sys.exit(2)
+    return doc
+
+
+def main(argv):
+    band = 0.6
+    strict = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--band="):
+            band = float(arg[len("--band="):])
+        elif arg == "--strict":
+            strict = True
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    base, fresh = load(paths[0]), load(paths[1])
+
+    if base["bench"] != fresh["bench"]:
+        print(f"FAIL: bench name changed: {base['bench']!r} -> "
+              f"{fresh['bench']!r}")
+        return 1
+    if base["checksum"] != fresh["checksum"]:
+        gone = sorted(set(base["metrics"]) - set(fresh["metrics"]))
+        new = sorted(set(fresh["metrics"]) - set(base["metrics"]))
+        print(f"FAIL: report shape changed (checksum "
+              f"{base['checksum']} -> {fresh['checksum']})")
+        for name in gone:
+            print(f"  - removed metric: {name}")
+        for name in new:
+            print(f"  - added metric:   {name}")
+        print("  regenerate the committed baseline to match the "
+              "harness (see scripts/check.sh)")
+        return 1
+
+    drifted = 0
+    for name in sorted(base["metrics"]):
+        b, f = base["metrics"][name], fresh["metrics"][name]
+        bm, fm = b["median"], f["median"]
+        if bm == 0.0 and fm == 0.0:
+            continue
+        # Scale the band to the metric's own recorded jitter when it
+        # has one; never below the flat floor.
+        rel_band = max(band, CV_SIGMAS * max(b.get("cv", 0.0),
+                                             f.get("cv", 0.0)))
+        scale = max(abs(bm), abs(fm))
+        if abs(fm - bm) > rel_band * scale:
+            drifted += 1
+            print(f"{'FAIL' if strict else 'WARN'}: {name}: median "
+                  f"{bm:g} -> {fm:g} (band +/-{rel_band * 100:.0f}%)")
+    if drifted == 0:
+        print(f"diff_bench: {fresh['bench']}: "
+              f"{len(base['metrics'])} metrics within noise bands")
+    elif not strict:
+        print(f"diff_bench: {fresh['bench']}: {drifted} metric(s) "
+              f"outside noise bands (warning only; --strict to fail)")
+    return 1 if (strict and drifted) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -469,6 +469,19 @@ AnchorageService::moveBatchLocked(BatchedPass &pass,
                 stats.pinnedSkips++;
                 continue;
             }
+            // Skip blocks the handle table disagrees with: a campaign
+            // interrupted by this barrier may have left limbo-parked
+            // sources (entry already points at the committed copy) and
+            // claimed-but-uncommitted destinations (entry still points
+            // at the marked source). Blindly moving either would copy
+            // stale bytes over the object's live location. A *marked*
+            // source still pointing here is fair game — our store
+            // clobbers the mark and the campaign's commit CAS aborts.
+            void *cur = runtime_->table().entry(blk.handleId)
+                            .ptr.load(std::memory_order_seq_cst);
+            if (reloc::unmarked(cur) !=
+                reinterpret_cast<void *>(blk.addr))
+                continue;
 
             // First choice: a hole strictly below the object in its own
             // sub-heap (classic compaction). Second: any denser sub-heap
@@ -566,10 +579,15 @@ AnchorageService::finishPassLocked(DefragStats &stats)
 {
     // Give every sub-heap's trailing pages back to the kernel — this
     // also catches destination heaps whose tails the moves freed and
-    // sub-heaps created after the pass was ranked.
+    // sub-heaps created after the pass was ranked. Coalesce first:
+    // with the pass done no CompactionIndex is live, so the evacuated
+    // class-exact holes can fuse into arbitrary-size holes (and into
+    // longer trimmable tails).
     for (auto &sh : shards_) {
-        for (auto &heap : sh->heaps)
+        for (auto &heap : sh->heaps) {
+            heap->coalesceHoles();
             stats.reclaimedBytes += heap->trimTop();
+        }
     }
 
     // Retire superseded region snapshots. Safe exactly here: the world
@@ -604,13 +622,13 @@ AnchorageService::relocateCampaign(size_t max_bytes)
 
     // Raise the global flag (and the scoped-discipline demand it
     // implies, for accessors that pick their idiom dynamically), then
-    // drain accessor scopes that opened before the flag was visible —
-    // they translate unpinned and must finish before the first mark
-    // (see ConcurrentAccessScope).
+    // wait one grace period for accessor scopes that opened before the
+    // flag was visible — they translate mark-unaware and must finish
+    // before the first mark (see ConcurrentAccessScope).
     Runtime::gConcurrentRelocCampaigns.fetch_add(1,
                                                  std::memory_order_seq_cst);
     Runtime::declareConcurrentDefrag();
-    runtime_->quiesceConcurrentAccessors();
+    campaignGraceWait(stats);
 
     // Rank every shard's sub-heaps emptiest-first once per campaign
     // (one shard lock at a time); sparse heaps anywhere are evacuated
@@ -658,6 +676,16 @@ AnchorageService::relocateCampaign(size_t max_bytes)
     const bool registered =
         runtime_->currentThreadStateOrNull() != nullptr;
     std::vector<Candidate> candidates;
+    std::vector<LimboBlock> limbo;
+    size_t limbo_bytes = 0;
+    std::deque<PendingReclaim> pending;
+    size_t pending_bytes = 0;
+    const size_t grace_batch =
+        config_.graceBatchBytes > 0 ? config_.graceBatchBytes : SIZE_MAX;
+    const size_t limbo_cap =
+        config_.limboCapBytes > 0
+            ? std::max(config_.limboCapBytes, config_.graceBatchBytes)
+            : SIZE_MAX;
     for (size_t rank = 0; rank < order.size() && budget > 0; rank++) {
         const HeapRef src_ref = order[rank];
         // Snapshot this source's live blocks (top of the extent
@@ -692,16 +720,44 @@ AnchorageService::relocateCampaign(size_t max_bytes)
             if (budget == 0)
                 break;
             // Keep Hybrid-mode barriers short: the mover reaches a
-            // safepoint between every two object moves.
+            // safepoint between every two object moves, with no mark
+            // ever outstanding across a poll. Drain the reclaim
+            // pipeline before parking (parked threads hold no scopes,
+            // so the grace waits cannot deadlock with the barrier):
+            // the STW pass skips blocks whose HTE disagrees, but
+            // retiring them first keeps its view exact. A barrier
+            // raised between this check and the poll is still safe —
+            // only slower — thanks to that skip.
+            if (registered && Runtime::barrierPending()) {
+                sealLimboBatch(pending, limbo, limbo_bytes,
+                               pending_bytes);
+                drainPending(pending, pending_bytes, 0, stats);
+            }
             if (registered)
                 poll();
             const uint64_t no_space_before = stats.noSpace;
-            const uint64_t committed_before = stats.committed;
-            moveOneConcurrent(cand, order, index, cache, stats, budget);
-            if (stats.committed != committed_before)
+            const size_t limbo_before = limbo.size();
+            relocateOneConcurrent(cand, order, index, cache, stats,
+                                  limbo, budget);
+            if (limbo.size() != limbo_before) {
                 consecutive_no_space = 0;
-            else if (stats.noSpace != no_space_before)
+                limbo_bytes += limbo.back().bytes;
+                // Enough sources parked: seal the batch behind a grace
+                // ticket and keep moving — the grace runs out in the
+                // background while later candidates are copied.
+                if (limbo_bytes >= grace_batch)
+                    sealLimboBatch(pending, limbo, limbo_bytes,
+                                   pending_bytes);
+                // Retire whatever already drained; stall only when the
+                // outstanding limbo bytes exceed the overshoot cap.
+                drainPending(pending, pending_bytes,
+                             limbo_cap > limbo_bytes
+                                 ? limbo_cap - limbo_bytes
+                                 : 0,
+                             stats);
+            } else if (stats.noSpace != no_space_before) {
                 consecutive_no_space++;
+            }
             // Once this source's downward holes and every denser heap
             // are exhausted, deeper (lower-addressed) candidates fare
             // even worse: stop paying a lock acquisition per candidate
@@ -709,18 +765,25 @@ AnchorageService::relocateCampaign(size_t max_bytes)
             if (consecutive_no_space > 1024)
                 break;
         }
-        // Trim-after-evacuation: give this source's emptied tail back
-        // before moving on, so reclamation keeps pace with the walk.
-        // Shrinking this heap's block vector is safe — its index is
-        // spent, and later sources never use an earlier (sparser) heap
-        // as a destination.
-        {
-            Shard &sh = *shards_[src_ref.shard];
-            std::lock_guard<std::mutex> guard(sh.mutex);
-            stats.reclaimedBytes += sh.heaps[src_ref.heapIdx]->trimTop();
-            invalidatePlacementLocked(sh);
-        }
+        // Seal this source's remaining parked blocks and hand the
+        // source to the batch that will free the last of them: batches
+        // retire FIFO, so by the time that batch's grace elapses every
+        // block this source parked is free, its holes coalesce, and
+        // its emptied tail is trimmable — without the walk stalling
+        // here for a grace. Later sources never use an earlier
+        // (sparser) heap as a destination, so deferring the trim never
+        // misdirects placement.
+        sealLimboBatch(pending, limbo, limbo_bytes, pending_bytes);
+        if (!pending.empty())
+            pending.back().sources.push_back(src_ref);
+        else
+            finishSource(src_ref, stats);
     }
+    // A budget cut mid-source can leave parked sources behind; retire
+    // every batch (and its deferred source trims) before dropping the
+    // campaign flag.
+    sealLimboBatch(pending, limbo, limbo_bytes, pending_bytes);
+    drainPending(pending, pending_bytes, 0, stats);
 
     // Final sweep: trailing holes opened by mutator frees during the
     // campaign, and destination heaps whose tails the moves freed.
@@ -744,11 +807,22 @@ AnchorageService::relocateCampaign(size_t max_bytes)
 }
 
 void
-AnchorageService::moveOneConcurrent(const Candidate &cand,
-                                    const std::vector<HeapRef> &order,
-                                    SubHeap::CompactionIndex &index,
-                                    DestCache &cache, DefragStats &stats,
-                                    size_t &budget)
+AnchorageService::campaignGraceWait(DefragStats &stats)
+{
+    Stopwatch watch;
+    runtime_->waitForGrace(Runtime::advanceCampaignEpoch());
+    stats.graceWaits++;
+    stats.graceWaitSec += watch.elapsedSec();
+}
+
+void
+AnchorageService::relocateOneConcurrent(const Candidate &cand,
+                                        const std::vector<HeapRef> &order,
+                                        SubHeap::CompactionIndex &index,
+                                        DestCache &cache,
+                                        DefragStats &stats,
+                                        std::vector<LimboBlock> &limbo,
+                                        size_t &budget)
 {
     auto &entry = runtime_->table().entry(cand.id);
 
@@ -759,7 +833,7 @@ AnchorageService::moveOneConcurrent(const Candidate &cand,
     if (reinterpret_cast<uint64_t>(old_ptr) != cand.addr)
         return;
 
-    // Phase 1: claim a strictly better destination — a lower hole in
+    // Phase A.1: claim a strictly better destination — a lower hole in
     // the source sub-heap, else a hole (then a bump) in any denser
     // sub-heap of any shard. One shard lock at a time: the source is
     // revalidated under its own lock, and a cross-shard destination is
@@ -862,8 +936,8 @@ AnchorageService::moveOneConcurrent(const Candidate &cand,
         dest_heap->free(dest_addr);
     };
 
-    // Phase 2: mark. Failure means an accessor (or the free path) beat
-    // us between the load and the CAS.
+    // Phase A.2: mark. Failure means an accessor (or the free path)
+    // beat us between the load and the CAS.
     stats.attempts++;
     if (!entry.ptr.compare_exchange_strong(old_ptr,
                                            reloc::marked(old_ptr),
@@ -878,9 +952,13 @@ AnchorageService::moveOneConcurrent(const Candidate &cand,
                                           std::memory_order_seq_cst);
     };
 
-    // Pinned objects cannot move: a pin taken before our mark holds a
-    // raw pointer we must not invalidate; one taken after will clear
-    // the mark and fail the commit CAS anyway.
+    // Pinned objects cannot move: a pin (pinned<T> / ConcurrentPin /
+    // the KV policies' write() — the only per-object pins left) taken
+    // before our mark holds a raw pointer its holder may store
+    // through; one taken after will clear the mark and fail the
+    // commit CAS anyway. This pair of checks is the whole write-side
+    // handshake — it is why no grace period is needed before the copy
+    // below.
     if (entry.state.load(std::memory_order_seq_cst) >>
         HandleTableEntry::pinCountShift) {
         abortUnmark();
@@ -890,27 +968,26 @@ AnchorageService::moveOneConcurrent(const Candidate &cand,
         return;
     }
 
-    // Phase 3: speculative copy while mutators may still read (and
-    // abort us by writing through) the old location. No lock held.
+    // Phase B: copy and commit, immediately — the abort window is the
+    // copy itself, not a grace period. Scoped accessors may keep
+    // *reading* pre-mark translations throughout (the source bytes
+    // survive on limbo until their batch's grace elapses), any writer
+    // pins: pre-mark pins were caught above, a pin taken during the
+    // copy clears our mark and the CAS below fails, discarding the
+    // torn copy.
     space_.copy(dest_addr, cand.addr, bytes);
-
-    // Phase 4: commit. An accessor, hfree, or hrealloc that intervened
-    // has replaced the marked pointer, and this CAS fails.
     void *expected = reloc::marked(old_ptr);
     if (entry.ptr.compare_exchange_strong(
             expected, reinterpret_cast<void *>(dest_addr),
-            std::memory_order_acq_rel)) {
+            std::memory_order_seq_cst)) {
         // Commit success proves no hfree/hrealloc intervened (either
         // would have replaced the marked pointer), so the source block
-        // is still ours to free — under its shard's lock.
-        Shard &ssh = *shards_[cand.src.shard];
-        std::lock_guard<std::mutex> guard(ssh.mutex);
-        SubHeap &src = *ssh.heaps[cand.src.heapIdx];
-        const int src_idx = src.findBlock(cand.addr);
-        ALASKA_ASSERT(src_idx >= 0 &&
-                          src.blocks()[src_idx].handleId == cand.id,
-                      "committed source block vanished");
-        src.freeBlockAt(src_idx);
+        // is still ours — but scopes that translated it before the
+        // commit may read it until they close: park it on limbo
+        // instead of freeing inline.
+        limbo.push_back(LimboBlock{cand.src, cand.addr,
+                                   static_cast<uint32_t>(bytes)});
+        stats.limboParked++;
         stats.committed++;
         stats.movedObjects++;
         stats.movedBytes += bytes;
@@ -919,6 +996,83 @@ AnchorageService::moveOneConcurrent(const Candidate &cand,
         releaseDest();
         stats.aborted++;
     }
+}
+
+void
+AnchorageService::sealLimboBatch(std::deque<PendingReclaim> &pending,
+                                 std::vector<LimboBlock> &limbo,
+                                 size_t &limbo_bytes,
+                                 size_t &pending_bytes)
+{
+    if (limbo.empty())
+        return;
+    PendingReclaim batch;
+    batch.ticket = runtime_->beginGrace(Runtime::advanceCampaignEpoch());
+    batch.blocks = std::move(limbo);
+    batch.bytes = limbo_bytes;
+    limbo.clear();
+    pending_bytes += limbo_bytes;
+    limbo_bytes = 0;
+    pending.push_back(std::move(batch));
+}
+
+void
+AnchorageService::drainPending(std::deque<PendingReclaim> &pending,
+                               size_t &pending_bytes,
+                               size_t target_bytes, DefragStats &stats)
+{
+    while (!pending.empty()) {
+        PendingReclaim &front = pending.front();
+        if (!runtime_->graceElapsed(front.ticket)) {
+            if (pending_bytes <= target_bytes)
+                return; // pipeline healthy: grace keeps running out in
+                        // the background while the walk continues
+            // Backpressure (or a drain point): the campaign's only
+            // steady-state wait, paid on the *oldest* ticket — the one
+            // closest to done — never per move.
+            Stopwatch watch;
+            while (!runtime_->graceElapsed(front.ticket))
+                std::this_thread::sleep_for(std::chrono::microseconds(20));
+            stats.graceWaits++;
+            stats.graceWaitSec += watch.elapsedSec();
+        }
+        freeBatch(front, stats);
+        pending_bytes -= front.bytes;
+        pending.pop_front();
+    }
+}
+
+void
+AnchorageService::freeBatch(PendingReclaim &batch, DefragStats &stats)
+{
+    // The grace elapsed: no accessor scope that could have translated
+    // a parked source before its move committed is still open, so the
+    // blocks are unreachable and safe to free.
+    for (const LimboBlock &b : batch.blocks) {
+        Shard &ssh = *shards_[b.src.shard];
+        std::lock_guard<std::mutex> guard(ssh.mutex);
+        SubHeap &src = *ssh.heaps[b.src.heapIdx];
+        const int idx = src.findBlock(b.addr);
+        ALASKA_ASSERT(idx >= 0 && !src.blocks()[idx].isFree(),
+                      "limbo source block vanished");
+        src.freeBlockAt(idx);
+    }
+    for (const HeapRef &src : batch.sources)
+        finishSource(src, stats);
+}
+
+void
+AnchorageService::finishSource(const HeapRef &src, DefragStats &stats)
+{
+    // Trim-after-evacuation: coalesce the class-exact holes the
+    // evacuation left (the compaction index is spent by now, so
+    // reindexing blocks_ is safe) and give the emptied tail back, so
+    // reclamation keeps pace with the campaign's walk.
+    Shard &sh = *shards_[src.shard];
+    std::lock_guard<std::mutex> guard(sh.mutex);
+    sh.heaps[src.heapIdx]->coalesceHoles();
+    stats.reclaimedBytes += sh.heaps[src.heapIdx]->trimTop();
+    invalidatePlacementLocked(sh);
 }
 
 } // namespace alaska::anchorage

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -72,6 +73,29 @@ struct AnchorageConfig
     double modelBandwidth = 4.0e9;
     /** Modeled fixed cost of one stop-the-world pause, seconds. */
     double modelPauseFloor = 200e-6;
+    /**
+     * Concurrent campaigns: bytes of committed-but-unreclaimed source
+     * blocks that accumulate on the open limbo batch before the
+     * campaign seals it behind a fresh grace ticket
+     * (Runtime::beginGrace) and keeps moving. Sealed batches are freed
+     * opportunistically once their grace elapses in the background;
+     * the campaign itself only stalls at limboCapBytes. Smaller
+     * batches retire sources sooner; larger ones amortize the epoch
+     * advance and thread scan each seal costs. See docs/TUNING.md.
+     */
+    size_t graceBatchBytes = 256 << 10;
+    /**
+     * Concurrent campaigns: total committed-but-unreclaimed source
+     * bytes (open batch plus sealed batches) the campaign may have
+     * outstanding before it stalls on the oldest batch's grace. This
+     * is the backpressure knob trading transient heap overshoot —
+     * limbo bytes count in extent until freed — against mover stalls:
+     * on an oversubscribed box one grace costs up to a scheduling
+     * quantum per descheduled mid-scope mutator, so the cap is what
+     * keeps the mover's pipeline full while graces run out in the
+     * background. Clamped up to graceBatchBytes. See docs/TUNING.md.
+     */
+    size_t limboCapBytes = 4 << 20;
 };
 
 /**
@@ -104,6 +128,18 @@ struct DefragStats
     uint64_t aborted = 0;
     /** Moves abandoned for lack of a strictly better destination. */
     uint64_t noSpace = 0;
+
+    // --- grace accounting (epoch-based campaigns) ----------------------
+    /** Grace periods waited for (initial drain, limbo reclamation —
+     *  never between a mark and its commit). */
+    uint64_t graceWaits = 0;
+    /** Total wall time spent waiting for grace, seconds. The
+     *  controller budgets this as campaign time, not pause time —
+     *  mutators never stop during a grace wait. */
+    double graceWaitSec = 0;
+    /** Committed source blocks parked on the limbo list (freed only
+     *  after the next grace period). */
+    uint64_t limboParked = 0;
 
     // --- per-barrier pause accounting (batched passes) -----------------
     /**
@@ -143,6 +179,9 @@ struct DefragStats
         committed += other.committed;
         aborted += other.aborted;
         noSpace += other.noSpace;
+        graceWaits += other.graceWaits;
+        graceWaitSec += other.graceWaitSec;
+        limboParked += other.limboParked;
         barriers += other.barriers;
         maxBarrierBytes = std::max(maxBarrierBytes, other.maxBarrierBytes);
         maxBarrierSec = std::max(maxBarrierSec, other.maxBarrierSec);
@@ -328,18 +367,36 @@ class AnchorageService : public Service
     DefragStats defragFully();
 
     /**
-     * One concurrent relocation campaign (paper §7): move up to
-     * max_bytes of objects from sparse sub-heaps (of any shard) to
-     * strictly better locations using the mark/copy/CAS protocol — no
-     * barrier, no stopped world. Holds at most one shard lock at any
-     * instant: a cross-shard move claims its destination under the
-     * destination shard's lock, copies with no lock held, and frees the
-     * source under the source shard's lock only after the commit CAS —
-     * mutators that interleave anywhere abort the move via the mark
-     * protocol, never via lock exclusion. Mutators must translate
-     * through the mark-aware scoped path (services/concurrent_reloc.h)
-     * while campaigns can run. At most one campaign runs at a time; a
-     * second caller returns an empty result immediately.
+     * One concurrent relocation campaign (paper §7, epoch-based):
+     * move up to max_bytes of objects from sparse sub-heaps (of any
+     * shard) to strictly better locations — no barrier, no stopped
+     * world, and no waiting on the move path. Each move is mark ->
+     * pin-check -> copy -> CAS-commit, back to back: the abort window
+     * is the microsecond-scale copy, not a grace period, so mutators
+     * touching the object mid-move are the only abort source. The
+     * committed *source* block is not freed inline — it parks on a
+     * per-campaign limbo list, and once graceBatchBytes of sources
+     * have parked (or the campaign finishes a source sub-heap) the
+     * batch is sealed behind a grace ticket (Runtime::beginGrace) and
+     * the walk continues; batches are freed once their grace has
+     * elapsed in the background, the campaign stalling only when
+     * limboCapBytes of sources are still outstanding. A batch's grace
+     * proves every accessor scope that could hold a pre-commit
+     * translation of a parked source has closed, so scoped readers
+     * never observe freed memory. Writers are excluded by the pin
+     * handshake
+     * (pinned<T> / the KV policies' write()) — a pin seen at the
+     * pin-check defers the move; a pin taken later aborts it via the
+     * mark — which is why the grace wait can come *after* commit.
+     *
+     * Holds at most one shard lock at any instant and never a lock
+     * across a grace wait: destinations are claimed under the
+     * destination shard's lock, copies run lock-free, sources are
+     * freed under the source shard's lock after reclamation. Mutators
+     * must translate through the scoped path
+     * (services/concurrent_reloc.h) while campaigns can run. At most
+     * one campaign runs at a time; a second caller returns an empty
+     * result immediately.
      *
      * Calls from a runtime-registered thread poll safepoints between
      * objects, so Hybrid-mode barriers never wait on more than one
@@ -485,16 +542,77 @@ class AnchorageService : public Service
     void finishPassLocked(DefragStats &stats);
 
     /**
-     * Try to move one snapshotted candidate concurrently. Takes one
-     * shard lock at a time (source to validate and to free after
-     * commit, destination to claim/release). Updates stats and budget;
-     * returns silently on stale candidates.
+     * A committed move's source block, parked until the next grace
+     * period proves no accessor scope can still hold its address.
      */
-    void moveOneConcurrent(const Candidate &cand,
-                           const std::vector<HeapRef> &order,
-                           SubHeap::CompactionIndex &index,
-                           DestCache &cache, DefragStats &stats,
-                           size_t &budget);
+    struct LimboBlock
+    {
+        HeapRef src;
+        uint64_t addr;
+        uint32_t bytes;
+    };
+
+    /**
+     * One complete concurrent move: revalidate one snapshotted
+     * candidate, claim a strictly better destination, mark the entry,
+     * check pins, copy the bytes, and CAS-commit — immediately, with
+     * no grace period anywhere in the window. On commit the source
+     * block parks on limbo (freed once its batch's grace elapses) and
+     * the moved bytes are charged against the budget; on any failure
+     * the claimed destination is released. Takes one shard lock at a
+     * time; returns silently on stale candidates.
+     */
+    void relocateOneConcurrent(const Candidate &cand,
+                               const std::vector<HeapRef> &order,
+                               SubHeap::CompactionIndex &index,
+                               DestCache &cache, DefragStats &stats,
+                               std::vector<LimboBlock> &limbo,
+                               size_t &budget);
+
+    /**
+     * A sealed limbo batch riding out its grace period: source blocks
+     * whose commits all predate the ticket's snapshot, plus the
+     * sources that finished evacuating by seal time (coalesced and
+     * trimmed when the batch is freed — batches retire FIFO, so every
+     * block such a source parked is free by then).
+     */
+    struct PendingReclaim
+    {
+        Runtime::GraceTicket ticket;
+        std::vector<LimboBlock> blocks;
+        size_t bytes = 0;
+        std::vector<HeapRef> sources;
+    };
+
+    /** Seal the open limbo batch behind a fresh grace ticket and queue
+     *  it on pending; no-op when the batch is empty. Never blocks. */
+    void sealLimboBatch(std::deque<PendingReclaim> &pending,
+                        std::vector<LimboBlock> &limbo,
+                        size_t &limbo_bytes, size_t &pending_bytes);
+
+    /**
+     * Retire sealed batches FIFO: free every batch whose grace has
+     * already elapsed (no wait), and while more than target_bytes are
+     * still pending, stall on the oldest batch's grace — the
+     * campaign's only steady-state wait, taken only under backpressure
+     * or at a drain point (target_bytes == 0 empties the queue).
+     */
+    void drainPending(std::deque<PendingReclaim> &pending,
+                      size_t &pending_bytes, size_t target_bytes,
+                      DefragStats &stats);
+
+    /** Free one retired batch's parked source blocks (shard-locked,
+     *  one block at a time) and coalesce + trim its finished
+     *  sources. The batch's grace must have elapsed. */
+    void freeBatch(PendingReclaim &batch, DefragStats &stats);
+
+    /** Coalesce a fully-walked source's holes, trim its tail, and
+     *  invalidate the shard's placement cache. */
+    void finishSource(const HeapRef &src, DefragStats &stats);
+
+    /** Advance the campaign epoch and wait for grace, accounting the
+     *  wait into stats. */
+    void campaignGraceWait(DefragStats &stats);
 
     AddressSpace &space_;
     AnchorageConfig config_;

@@ -213,6 +213,48 @@ SubHeap::popLowestFreeBelow(CompactionIndex &index, size_t size,
 }
 
 size_t
+SubHeap::coalesceHoles()
+{
+    // blocks_ is address-ordered and tiles the extent with no gaps
+    // (bump allocation appends back-to-back), so vector-adjacent free
+    // blocks are address-adjacent: one compaction sweep merges every
+    // run of holes in place.
+    size_t merged = 0;
+    size_t w = 0;
+    for (size_t r = 0; r < blocks_.size();) {
+        if (blocks_[r].isFree()) {
+            Block run = blocks_[r];
+            size_t r2 = r + 1;
+            while (r2 < blocks_.size() && blocks_[r2].isFree()) {
+                run.size += blocks_[r2].size;
+                r2++;
+            }
+            merged += (r2 - r) - 1;
+            blocks_[w++] = run;
+            r = r2;
+        } else {
+            blocks_[w++] = blocks_[r++];
+        }
+    }
+    if (merged == 0)
+        return 0;
+    blocks_.resize(w);
+    // Every index changed: rebuild the free lists from scratch. The
+    // reverse walk makes each class's back() (the O(1) reuse slot) the
+    // lowest-addressed hole, which is also where defrag wants mutator
+    // reuse to land.
+    for (auto &list : freeLists_)
+        list.clear();
+    for (size_t i = blocks_.size(); i-- > 0;) {
+        if (blocks_[i].isFree()) {
+            freeLists_[classOf(blocks_[i].size)].push_back(
+                static_cast<uint32_t>(i));
+        }
+    }
+    return merged;
+}
+
+size_t
 SubHeap::trimTop()
 {
     const size_t old_bump = bump_;

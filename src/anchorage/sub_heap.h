@@ -5,9 +5,12 @@
  * Each sub-heap is a contiguous region allocated with a naive bump
  * pointer plus a power-of-two free list: an allocation first checks the
  * front of its size class's list (O(1)), then bumps. There is no
- * splitting, no coalescing, and no thread caching — the allocator is
- * deliberately simple because defragmentation, not placement cleverness,
- * is what fights fragmentation here.
+ * splitting, no thread caching, and no coalescing on the mutator free
+ * path — the allocator is deliberately simple because defragmentation,
+ * not placement cleverness, is what fights fragmentation here. Defrag
+ * passes do coalesce (coalesceHoles()): after a sub-heap is evacuated
+ * its class-exact holes would otherwise cap how densely later moves
+ * can repack it.
  *
  * Block metadata is kept out-of-band (a sorted vector per sub-heap)
  * rather than in headers so the same code runs over real and phantom
@@ -104,6 +107,19 @@ class SubHeap
      * @return bytes reclaimed from the extent.
      */
     size_t trimTop();
+
+    /**
+     * Merge runs of address-adjacent free blocks into single holes and
+     * rebuild the free lists. Defrag-only (blocks_ indices change, so
+     * the caller must hold the shard lock and must not have a live
+     * CompactionIndex for this heap): called when a pass or campaign
+     * finishes with a source sub-heap, so the class-exact holes its
+     * evacuation left behind fuse into holes big enough for any later
+     * placement — without this, concurrent campaigns floor out above
+     * the stop-the-world fragmentation floor. O(blocks).
+     * @return number of holes merged away.
+     */
+    size_t coalesceHoles();
 
     /** Anchorage shard that owns this sub-heap (tag; see constructor). */
     uint32_t ownerShard() const { return ownerShard_; }

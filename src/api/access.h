@@ -9,18 +9,32 @@
  *
  *  - alaska::access_scope   brackets one application operation. Free
  *                           under the Direct discipline; a real
- *                           ConcurrentAccessScope under Scoped.
+ *                           ConcurrentAccessScope under Scoped. The
+ *                           scope's epoch is what keeps every deref
+ *                           inside it readable — campaigns copy and
+ *                           commit immediately but only *reclaim* an
+ *                           evacuated source after open scopes close
+ *                           (grace periods over a limbo list).
  *  - alaska::api::deref<T>  per-access translation inside a scope —
  *                           what the KV policies' deref() compiles to.
+ *                           No shared-memory RMW in any mode. The
+ *                           result is readable for the scope's
+ *                           lifetime; under Scoped it is NOT a store
+ *                           target (see pinned<T>).
  *  - alaska::access<T>      RAII guard for one object: the raw pointer
- *                           is valid for the guard's lifetime (atomic
- *                           pin under Scoped, plain translation under
- *                           Direct — then valid until the next
- *                           safepoint, so don't hold it across poll()).
- *  - alaska::pinned<T>      must-not-move guard: the object cannot be
- *                           relocated while the guard lives, across
- *                           barriers included (stack pin frame under
- *                           Direct, atomic pin under Scoped — both are
+ *                           is valid for the guard's lifetime (its own
+ *                           epoch scope under Scoped — read access
+ *                           only, like api::deref; plain translation
+ *                           under Direct — then valid until the next
+ *                           safepoint, so don't hold it across poll()
+ *                           in either mode).
+ *  - alaska::pinned<T>      must-not-move guard, and under Scoped the
+ *                           one way to *store* through a translation:
+ *                           the object cannot be relocated while the
+ *                           guard lives, across barriers included
+ *                           (stack pin frame under Direct, plus an
+ *                           atomic pin under Scoped — since the epoch
+ *                           rework the *only* per-object pin; both are
  *                           honored by STW passes and campaigns).
  *
  * Everything is header-only and compiles down to the raw surface; the
@@ -54,12 +68,19 @@ namespace api
  * the compiler-inserted translate. Compiles to translateScoped(),
  * whose fast path is the ordinary one-load translate() behind a single
  * thread-local test — the test only fires when the enclosing
- * access_scope opened during an in-flight campaign, in which case each
- * deref pins until the scope closes. Contract: under the Scoped
- * discipline (Runtime::translationDiscipline()) the caller must be
- * inside an access_scope bracketing the operation; under Direct no
- * scope is needed and the raw pointer is valid until the next
- * safepoint.
+ * access_scope opened during an in-flight campaign, in which case the
+ * deref is the same one-load translate with a mover's mark stripped.
+ * No shared-memory RMW in any case. Validity comes from the scope, not
+ * from the deref: campaigns commit moves immediately but grace-wait on
+ * the scope's published epoch before *freeing* an evacuated source, so
+ * whichever copy this deref resolved to stays readable until the scope
+ * closes. Contract: under the Scoped discipline
+ * (Runtime::translationDiscipline()) the caller must be inside an
+ * access_scope bracketing the operation, and the result is a read-only
+ * view — route stores through pinned<T> (or the KV policies' write()),
+ * whose pin handshake is what aborts an in-flight copy a store would
+ * otherwise vanish into. Under Direct no scope is needed and the raw
+ * pointer is valid, for reads and writes, until the next safepoint.
  */
 template <typename T>
 inline T *
@@ -91,10 +112,14 @@ inline constexpr checked_t checked{};
  * Brackets one application operation (one KV request, one graph query)
  * in the discipline the runtime currently requires. Under Direct this
  * is two uncontended loads and nothing else; under Scoped it opens a
- * real ConcurrentAccessScope, so every api::deref()/policy deref
- * inside pins against in-flight campaigns and all pins drop when the
- * scope closes. Must not span a safepoint poll (pins held at a barrier
- * block compaction of those objects). Scopes nest.
+ * real ConcurrentAccessScope, publishing this thread's access epoch —
+ * a campaign moves objects without waiting for anyone, but it defers
+ * *reclaiming* an evacuated source until the epoch advances (the scope
+ * closes), so everything translated inside the scope stays readable.
+ * Derefs inside the scope are therefore plain loads; the epoch bump at
+ * the scope boundary is the only shared-memory write. Must not span a
+ * safepoint poll (an open scope stalls campaign grace periods, and
+ * parked threads read as quiesced). Scopes nest.
  */
 class access_scope
 {
@@ -117,12 +142,18 @@ class access_scope
 /**
  * RAII typed access to one object behind a maybe-handle: construction
  * translates once, and the raw pointer stays valid for the guard's
- * lifetime. Under the Scoped discipline the guard holds its own atomic
- * pin, so a relocation campaign racing the guard aborts instead of
- * moving the object out from under it; under Direct the translation is
- * the plain one-load fast path and the guard must not outlive the next
- * safepoint poll (exactly the raw translate() contract). Use
- * pinned<T> when the object must survive barriers unmoved.
+ * lifetime. Under the Scoped discipline the guard opens its own epoch
+ * scope, so a relocation campaign racing the guard grace-waits for the
+ * guard to drop before reclaiming the object's old storage — no
+ * per-object pin, no shared-memory RMW — and, like every epoch-backed
+ * translation, the pointer is a read-only view (a store could land in
+ * a source block a campaign has already copied out of); under Direct
+ * the translation is the plain one-load fast path, writable as ever.
+ * In both modes the guard must not outlive the next safepoint poll
+ * (exactly the raw translate() contract — under Scoped, parking reads
+ * as quiesced and voids the epoch protection). Use pinned<T> when the
+ * object must survive barriers unmoved, the pointer must cross a poll,
+ * or a store must race campaigns safely.
  */
 template <typename T>
 class access
@@ -134,18 +165,16 @@ class access
         if (__builtin_expect(Runtime::translationDiscipline() ==
                                  TranslationDiscipline::Scoped,
                              0)) {
-            // ConcurrentPin's handshake is the one implementation of
-            // pinning against the campaign mover; the guard holds one
-            // pin through its static halves.
-            entry_ = ConcurrentPin::pinFor(maybe_handle);
-            raw_ = static_cast<T *>(translateConcurrent(maybe_handle));
+            // The guard's own epoch scope: campaigns grace-wait on it
+            // before freeing anything this translation may reference.
+            scope_.emplace();
+            raw_ = static_cast<T *>(translateScoped(
+                static_cast<const void *>(maybe_handle)));
         } else {
             raw_ = static_cast<T *>(
                 translate(static_cast<const void *>(maybe_handle)));
         }
     }
-
-    ~access() { ConcurrentPin::unpin(entry_); }
 
     /**
      * Fault-checked translation (see checked_t): swapped-out objects
@@ -177,7 +206,7 @@ class access
     T &operator[](size_t i) const { return raw_[i]; }
 
   private:
-    HandleTableEntry *entry_ = nullptr;
+    std::optional<ConcurrentAccessScope> scope_;
     T *raw_ = nullptr;
 };
 
@@ -185,10 +214,15 @@ class access
  * RAII must-not-move guard: while a pinned<T> lives, neither a
  * stop-the-world pass nor a concurrent campaign will relocate the
  * object (barriers see the pin in the unified pin set; campaigns abort
- * on the pin count). The raw pointer is therefore stable across
- * safepoints — this is the guard for spans handed to external code or
- * held across polls. Requires a registered thread (the pin lives in a
- * stack pin frame; PinFrame enforces the requirement loudly).
+ * on the pin count). Since the epoch rework this is the *only*
+ * per-object pin in the API — access<T> and api::deref rely on epoch
+ * grace instead — and consequently the only guard whose pointer may be
+ * *stored through* while campaigns run: the pin/mark handshake aborts
+ * any in-flight copy the store would otherwise be lost against. The
+ * raw pointer is also stable across safepoints — this is the guard for
+ * spans handed to external code or held across polls. Requires a
+ * registered thread (the pin lives in a stack pin frame; PinFrame
+ * enforces the requirement loudly).
  */
 template <typename T>
 class pinned

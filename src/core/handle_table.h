@@ -54,9 +54,12 @@ struct HandleTableEntry
     /** Object size in bytes as requested at halloc time. */
     uint32_t size = 0;
     /**
-     * Entry state. The low bits are StateBits; the remaining bits are an
-     * atomic pin count used only in the (ablation-only) AtomicPins
-     * tracking mode.
+     * Entry state. The low bits are StateBits; the remaining bits are
+     * an atomic pin count. Since the epoch rework of scoped
+     * translation, the count is fed only by pinned<T> (via
+     * ConcurrentPin — the API's one per-object pin) and by the
+     * ablation-only AtomicPins tracking mode; campaigns veto a move
+     * when the count is nonzero, everything else rides epoch grace.
      */
     std::atomic<uint32_t> state{0};
 

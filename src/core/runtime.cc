@@ -16,6 +16,7 @@ std::atomic<bool> Runtime::gBarrierPending{false};
 Runtime *Runtime::gRuntime = nullptr;
 std::atomic<uint32_t> Runtime::gConcurrentRelocCampaigns{0};
 std::atomic<uint32_t> Runtime::gConcurrentDefragDeclared{0};
+std::atomic<uint64_t> Runtime::gCampaignEpoch{0};
 
 namespace
 {
@@ -294,40 +295,107 @@ Runtime::currentThreadStateOrNull()
 }
 
 void
-Runtime::quiesceConcurrentAccessors()
+Runtime::publishGraceHorizon(uint64_t horizon)
 {
-    // Snapshot every thread caught mid-scope (odd accessSeq), then wait
-    // for each to advance. A scope that begins after the snapshot saw
-    // the campaign flag (its ctor reads the flag after incrementing the
-    // seq, both seq_cst) and pins its translations, so only the
-    // snapshotted phases need draining.
-    std::vector<std::pair<const ThreadState *, uint64_t>> busy;
+    // Monotonic max under CAS: two concurrent waiters must not regress
+    // each other's high-water.
+    uint64_t prev = lastGraceEpoch_.load(std::memory_order_relaxed);
+    while (prev < horizon &&
+           !lastGraceEpoch_.compare_exchange_weak(
+               prev, horizon, std::memory_order_acq_rel)) {
+    }
+}
+
+Runtime::GraceTicket
+Runtime::beginGrace(uint64_t epoch)
+{
+    GraceTicket ticket;
+    ticket.epoch = epoch;
+    // High-water fast path: a grace period that completed for a later
+    // epoch also covers this one, so back-to-back batch waits in a
+    // campaign pay one scan, not one per call site.
+    if (lastGraceEpoch_.load(std::memory_order_acquire) >= epoch) {
+        ticket.done = true;
+        return ticket;
+    }
+
+    // The horizon this ticket will certify once the scan drains.
+    // Sampled before the snapshot: scopes opened after this point are
+    // not our problem (their translations postdate the caller's marks).
+    ticket.horizon = gCampaignEpoch.load(std::memory_order_seq_cst);
+
+    // Snapshot every thread caught mid-scope (odd accessEpoch). A
+    // scope that begins after the snapshot saw the campaign flag (its
+    // ctor reads the flag after advancing the epoch, both seq_cst) and
+    // translates mark-aware, so only the snapshotted epochs need
+    // draining.
+    const ThreadState *self = tlsState;
+    std::lock_guard<std::mutex> guard(threadMutex_);
+    for (const auto &thread : threads_) {
+        if (thread.get() == self)
+            continue;
+        const uint64_t seq =
+            thread->accessEpoch.load(std::memory_order_seq_cst);
+        if (seq & 1)
+            ticket.busy.emplace_back(thread.get(), seq);
+    }
+    if (ticket.busy.empty()) {
+        publishGraceHorizon(ticket.horizon);
+        ticket.done = true;
+    }
+    return ticket;
+}
+
+bool
+Runtime::graceElapsed(GraceTicket &ticket)
+{
+    if (ticket.done)
+        return true;
+    if (lastGraceEpoch_.load(std::memory_order_acquire) >= ticket.epoch) {
+        ticket.done = true;
+        return true;
+    }
     {
         std::lock_guard<std::mutex> guard(threadMutex_);
-        for (const auto &thread : threads_) {
-            const uint64_t seq =
-                thread->accessSeq.load(std::memory_order_seq_cst);
-            if (seq & 1)
-                busy.emplace_back(thread.get(), seq);
-        }
-    }
-    while (!busy.empty()) {
-        std::this_thread::sleep_for(std::chrono::microseconds(20));
-        std::lock_guard<std::mutex> guard(threadMutex_);
-        for (size_t i = busy.size(); i-- > 0;) {
+        for (size_t i = ticket.busy.size(); i-- > 0;) {
+            // Re-find the thread by identity: one that unregistered
+            // mid-grace has drained by definition (scopes cannot
+            // outlive registration), so an exited thread never hangs
+            // the poll.
             bool still_busy = false;
             for (const auto &thread : threads_) {
-                if (thread.get() == busy[i].first) {
+                if (thread.get() == ticket.busy[i].first) {
                     still_busy =
-                        thread->accessSeq.load(
-                            std::memory_order_seq_cst) == busy[i].second;
+                        thread->accessEpoch.load(
+                            std::memory_order_seq_cst) ==
+                        ticket.busy[i].second;
                     break;
                 }
             }
             if (!still_busy)
-                busy.erase(busy.begin() + static_cast<long>(i));
+                ticket.busy.erase(ticket.busy.begin() +
+                                  static_cast<long>(i));
         }
     }
+    if (!ticket.busy.empty())
+        return false;
+    publishGraceHorizon(ticket.horizon);
+    ticket.done = true;
+    return true;
+}
+
+void
+Runtime::waitForGrace(uint64_t epoch)
+{
+    GraceTicket ticket = beginGrace(epoch);
+    while (!graceElapsed(ticket))
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+}
+
+void
+Runtime::quiesceConcurrentAccessors()
+{
+    waitForGrace(advanceCampaignEpoch());
 }
 
 size_t

@@ -50,7 +50,9 @@ enum class TranslationDiscipline
     /**
      * Concurrent relocation campaigns are possible: accessors must
      * bracket operations in a ConcurrentAccessScope (or hold an atomic
-     * pin) so in-flight moves are aborted rather than raced.
+     * pin via pinned<T>) so the campaign's grace periods cover their
+     * cached translations and in-flight moves are aborted rather than
+     * raced.
      */
     Scoped,
 };
@@ -235,8 +237,8 @@ class Runtime
      * Mutator translation must go through the mark-aware path (see
      * services/concurrent_reloc.h) while this holds; checking the flag
      * is a single uncontended atomic load when no campaign runs. The
-     * seq_cst order pairs with the accessSeq increment in
-     * ConcurrentAccessScope (see ThreadState::accessSeq).
+     * seq_cst order pairs with the accessEpoch advance in
+     * ConcurrentAccessScope (see ThreadState::accessEpoch).
      */
     static bool
     concurrentRelocActive()
@@ -288,13 +290,95 @@ class Runtime
     }
 
     /**
-     * Wait (without stopping anything) until every registered thread
-     * has left the ConcurrentAccessScope it was in, if any. A campaign
-     * calls this after raising the active flag: scopes that began
-     * before the flag was visible translate unpinned, so the mover must
-     * let them drain before marking its first object. Scopes are one
-     * application operation long, so the wait is short and mutators
-     * never block.
+     * Advance the global campaign epoch and return the new value. A
+     * relocation campaign advances the epoch at each batch boundary and
+     * then calls waitForGrace() on the returned value; mutators never
+     * touch this counter (their published state is the per-thread
+     * ThreadState::accessEpoch).
+     */
+    static uint64_t
+    advanceCampaignEpoch()
+    {
+        return gCampaignEpoch.fetch_add(1, std::memory_order_seq_cst) + 1;
+    }
+
+    /** The current global campaign epoch. */
+    static uint64_t
+    campaignEpoch()
+    {
+        return gCampaignEpoch.load(std::memory_order_seq_cst);
+    }
+
+    /**
+     * One grace period in flight, split into a snapshot (beginGrace)
+     * and a non-blocking poll (graceElapsed) so a campaign can park a
+     * reclaim batch and keep moving objects while the grace runs out in
+     * the background — the pipelined form of waitForGrace(). Opaque:
+     * create via beginGrace(), poll via graceElapsed().
+     */
+    struct GraceTicket
+    {
+        uint64_t epoch = 0;
+        /** gCampaignEpoch sampled before the snapshot; certified into
+         *  lastGraceEpoch_ once the snapshot drains. */
+        uint64_t horizon = 0;
+        /** Threads caught mid-scope (odd accessEpoch) at the snapshot,
+         *  with the epoch each published then. Compared by identity
+         *  only — a pointer here is never dereferenced after the
+         *  thread unregisters. */
+        std::vector<std::pair<const ThreadState *, uint64_t>> busy;
+        bool done = false;
+    };
+
+    /**
+     * Snapshot the start of a grace period for @p epoch (a value
+     * returned by advanceCampaignEpoch()): records every registered
+     * thread caught inside a ConcurrentAccessScope, excluding the
+     * calling thread (a mover waiting on its own scope would deadlock,
+     * and its own translations are not at risk from its own moves).
+     * Never blocks. A ticket already satisfied by the lastGraceEpoch_
+     * high-water mark (or an empty snapshot) comes back done.
+     */
+    GraceTicket beginGrace(uint64_t epoch);
+
+    /**
+     * Poll a ticket: true once every snapshotted thread has left the
+     * scope it was in at beginGrace() — at which point every
+     * translation obtained under a scope open at the snapshot is dead.
+     * Never blocks, never hangs on exited threads: each snapshotted
+     * thread is re-found by identity, and one that unregistered
+     * mid-grace is treated as drained (scopes cannot outlive
+     * registration). Idempotent after it first returns true.
+     */
+    bool graceElapsed(GraceTicket &ticket);
+
+    /**
+     * Wait (without stopping anything) for one grace period: until
+     * every registered thread has left the ConcurrentAccessScope it was
+     * inside when the wait began, if any. On return, every translation
+     * obtained under a scope that was open at the call is dead — which
+     * is what lets a campaign free a *committed* relocation source: a
+     * reader whose scope predates the commit CAS may still hold the
+     * stale source translation, so the source parks on a limbo list
+     * and is only freed after one grace, while the scope's cached
+     * translations stay valid for the scope's whole lifetime with zero
+     * shared-memory RMWs on the deref path. Equivalent to beginGrace()
+     * plus a graceElapsed() sleep-poll loop.
+     *
+     * @param epoch a value returned by advanceCampaignEpoch(); waits
+     * already satisfied for a later epoch return immediately (the
+     * per-runtime lastGraceEpoch_ high-water mark).
+     *
+     * Scopes are one application operation long and never span a
+     * safepoint poll, so the wait is short and mutators never block.
+     */
+    void waitForGrace(uint64_t epoch);
+
+    /**
+     * Advance the campaign epoch and wait one full grace period.
+     * A campaign calls this after raising the active flag: scopes that
+     * began before the flag was visible translate mark-unaware, so the
+     * mover must let them drain before marking its first object.
      */
     void quiesceConcurrentAccessors();
 
@@ -323,6 +407,8 @@ class Runtime
     static std::atomic<uint32_t> gConcurrentRelocCampaigns;
     /** Outstanding declareConcurrentDefrag() declarations. */
     static std::atomic<uint32_t> gConcurrentDefragDeclared;
+    /** Global campaign epoch (see advanceCampaignEpoch). */
+    static std::atomic<uint64_t> gCampaignEpoch;
 
   private:
     friend class ThreadRegistration;
@@ -343,6 +429,15 @@ class Runtime
 
     /** Serializes whole barriers against each other. */
     std::mutex barrierMutex_;
+
+    /** Raise the completed-grace high-water mark to @p horizon. */
+    void publishGraceHorizon(uint64_t horizon);
+
+    /**
+     * Highest campaign epoch for which a grace period has completed;
+     * waitForGrace() on an epoch at or below it returns immediately.
+     */
+    std::atomic<uint64_t> lastGraceEpoch_{0};
 
     std::atomic<uint64_t> nHallocs_{0};
     std::atomic<uint64_t> nHfrees_{0};

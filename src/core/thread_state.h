@@ -75,14 +75,18 @@ struct ThreadState
     /** Cached handle IDs for lock-free allocate/release fast paths. */
     HandleMagazine magazine;
     /**
-     * Seqlock-style concurrent-access phase: odd while the thread is
-     * inside a ConcurrentAccessScope, even when quiescent. A relocation
-     * campaign raises the global active flag and then waits for every
-     * odd phase to end (Runtime::quiesceConcurrentAccessors), so any
-     * scope that began before the flag was visible has drained before
-     * the first object is marked. Owner-incremented only.
+     * The thread's published access epoch: odd while the thread is
+     * inside a ConcurrentAccessScope, even when quiescent, advanced by
+     * one plain-RMW-free store at each outermost scope boundary (the
+     * thread is the only writer). This is the reader half of the
+     * grace-period protocol (Runtime::waitForGrace): a relocation
+     * campaign waits until every thread whose epoch was odd at the wait
+     * has advanced, which proves every translation obtained before the
+     * wait began has been dropped. No per-object state is touched on
+     * the deref path — protection is one word per *thread*, not one
+     * RMW per access.
      */
-    std::atomic<uint64_t> accessSeq{0};
+    std::atomic<uint64_t> accessEpoch{0};
     /** Statistics: how many times this thread parked in a barrier. */
     uint64_t parks = 0;
 

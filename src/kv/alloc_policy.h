@@ -41,6 +41,75 @@
 namespace alaska::kv
 {
 
+namespace kv_detail
+{
+
+/**
+ * Store guard for raw-pointer policies: the identity, compiled away.
+ * Mirrors HandleWriteRef's interface so the structures write through
+ * one idiom regardless of policy.
+ */
+template <typename T>
+struct RawWriteRef
+{
+    T *raw;
+
+    T *get() const { return raw; }
+    T &operator*() const { return *raw; }
+    T *operator->() const { return raw; }
+    T &operator[](size_t i) const { return raw[i]; }
+};
+
+/**
+ * Store guard for the handle-based policy: translation plus — only
+ * under the Scoped discipline — the pin half of the mover handshake
+ * (ConcurrentPin), held for the guard's lifetime. Epoch scopes order
+ * *reads* against campaigns (an evacuated source stays mapped until
+ * every open scope closes), but they cannot order a store: one issued
+ * through a pre-mark translation after the mover's copy would land in
+ * the doomed source block and be lost at commit. The pin closes
+ * exactly that window — the mover aborts on a pre-mark pin, and a
+ * post-mark pin's mark-aware translation aborts the mover. Under
+ * Direct a store only ever races stop-the-world barriers, which park
+ * at safepoints a KV operation never polls, so the guard is the plain
+ * one-load translation and pins nothing. Unlike pinned<T> there is no
+ * stack pin frame: the guard never outlives its KV operation, so
+ * barriers need not see it.
+ */
+template <typename T>
+class HandleWriteRef
+{
+  public:
+    explicit HandleWriteRef(T *maybe_handle)
+    {
+        if (__builtin_expect(Runtime::translationDiscipline() ==
+                                 TranslationDiscipline::Scoped,
+                             0)) {
+            entry_ = ConcurrentPin::pinFor(maybe_handle);
+            raw_ = static_cast<T *>(translateConcurrent(maybe_handle));
+        } else {
+            raw_ = static_cast<T *>(
+                translate(static_cast<const void *>(maybe_handle)));
+        }
+    }
+
+    ~HandleWriteRef() { ConcurrentPin::unpin(entry_); }
+
+    HandleWriteRef(const HandleWriteRef &) = delete;
+    HandleWriteRef &operator=(const HandleWriteRef &) = delete;
+
+    T *get() const { return raw_; }
+    T &operator*() const { return *raw_; }
+    T *operator->() const { return raw_; }
+    T &operator[](size_t i) const { return raw_[i]; }
+
+  private:
+    HandleTableEntry *entry_ = nullptr;
+    T *raw_ = nullptr;
+};
+
+} // namespace kv_detail
+
 /** Baseline: libc malloc, raw pointers. */
 class LibcAlloc
 {
@@ -58,6 +127,14 @@ class LibcAlloc
         return ptr;
     }
 
+    /** Store access: raw pointers are directly writable. */
+    template <typename T>
+    static kv_detail::RawWriteRef<T>
+    write(T *ptr)
+    {
+        return kv_detail::RawWriteRef<T>{ptr};
+    }
+
     /** Defrag hints: a non-moving allocator has none. */
     bool shouldMove(const void *) const { return false; }
 };
@@ -67,13 +144,18 @@ class LibcAlloc
  *
  * deref() is the typed layer's mode-aware translation (api::deref):
  * the plain one-load translate while only stop-the-world defrag can
- * run, and the scoped mark-aware translation while background
- * campaigns are possible. Under the Scoped discipline callers must
- * bracket each KV operation in an alaska::access_scope (the
- * multi-threaded YCSB driver and the contention tests do); every
- * pointer deref'd inside the scope then stays valid until the scope
- * closes. Under Direct, the raw pointer is stable until the next
- * safepoint — KV operations run between polls, as compiled code would.
+ * run, and the scoped mark-stripping load while background campaigns
+ * are possible — never a shared-memory RMW. Under the Scoped
+ * discipline callers must bracket each KV operation in an
+ * alaska::access_scope (the multi-threaded YCSB driver and the
+ * contention tests do); every pointer deref'd inside the scope then
+ * stays *readable* until the scope closes, and the structures route
+ * every store through write() — the pin-handshake guard — because a
+ * store through a bare scoped translation could land in a source
+ * block a campaign has already copied out of. Under Direct, the raw
+ * pointer is stable (reads and writes) until the next safepoint — KV
+ * operations run between polls, as compiled code would — and write()
+ * costs nothing beyond the translation.
  *
  * Shard affinity: halloc routes through the Anchorage service's
  * per-shard sub-heap chains when Anchorage backs the runtime, so a KV
@@ -94,13 +176,26 @@ class AlaskaAlloc
 
     /**
      * The compiler-inserted translation, at per-access granularity,
-     * routed through the unified typed-API guard path.
+     * routed through the unified typed-API guard path. Read-only under
+     * the Scoped discipline; see write().
      */
     template <typename T>
     static T *
     deref(T *ptr)
     {
         return api::deref(ptr);
+    }
+
+    /**
+     * Store access: the translation plus, while campaigns are
+     * possible, the per-object pin that arbitrates against an
+     * in-flight move (see kv_detail::HandleWriteRef).
+     */
+    template <typename T>
+    static kv_detail::HandleWriteRef<T>
+    write(T *ptr)
+    {
+        return kv_detail::HandleWriteRef<T>(ptr);
     }
 
     /** Anchorage needs no application cooperation to defragment. */
@@ -146,6 +241,14 @@ class ModelAlloc
     deref(T *ptr)
     {
         return ptr;
+    }
+
+    /** Store access: model tokens are directly writable. */
+    template <typename T>
+    static kv_detail::RawWriteRef<T>
+    write(T *ptr)
+    {
+        return kv_detail::RawWriteRef<T>{ptr};
     }
 
     /** jemalloc's defrag hint — what Redis activedefrag polls. */

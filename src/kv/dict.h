@@ -4,6 +4,10 @@
  * Redis's dict: two tables, with buckets migrated a few at a time on
  * every operation while a resize is in progress. All stored pointers
  * (bucket arrays, entries, keys) are maybe-handles under AlaskaAlloc.
+ * Chain walks and key compares read through the policy's deref();
+ * every pointer store (bucket slots, next links, entry init) goes
+ * through its write() guard, which is what keeps the stores ordered
+ * against a concurrent relocation campaign.
  */
 
 #ifndef ALASKA_KV_DICT_H
@@ -96,16 +100,17 @@ class Dict
         auto *entry = static_cast<DictEntry *>(
             alloc_.alloc(sizeof(DictEntry)));
         Sds key_sds = sdsNew(alloc_, key);
-        DictEntry **buckets = derefBuckets(t);
         const size_t idx = h & (size_[t] - 1);
-        DictEntry *raw_head = buckets[idx];
-        DictEntry *raw = A::template deref<DictEntry>(entry);
-        raw->key = key_sds;
-        raw->value = nullptr;
-        raw->next = raw_head;
-        raw->lruPrev = nullptr;
-        raw->lruNext = nullptr;
-        derefBuckets(t)[idx] = entry;
+        DictEntry *raw_head = derefBuckets(t)[idx];
+        {
+            auto raw = A::template write<DictEntry>(entry);
+            raw->key = key_sds;
+            raw->value = nullptr;
+            raw->next = raw_head;
+            raw->lruPrev = nullptr;
+            raw->lruNext = nullptr;
+        }
+        writeBuckets(t)[idx] = entry;
         used_++;
         return entry;
     }
@@ -130,10 +135,10 @@ class Dict
                 DictEntry *raw = A::template deref<DictEntry>(e);
                 if (sdsEquals<A>(raw->key, key)) {
                     if (prev) {
-                        A::template deref<DictEntry>(prev)->next =
+                        A::template write<DictEntry>(prev)->next =
                             raw->next;
                     } else {
-                        derefBuckets(t)[idx] = raw->next;
+                        writeBuckets(t)[idx] = raw->next;
                     }
                     used_--;
                     return e;
@@ -190,8 +195,10 @@ class Dict
             if (!ht_[t] || !alloc_.shouldMove(ht_[t]))
                 continue;
             void *fresh = alloc_.alloc(size_[t] * sizeof(DictEntry *));
-            std::memcpy(fresh, derefBuckets(t),
-                        size_[t] * sizeof(DictEntry *));
+            std::memcpy(A::template write<DictEntry *>(
+                            static_cast<DictEntry **>(fresh))
+                            .get(),
+                        derefBuckets(t), size_[t] * sizeof(DictEntry *));
             alloc_.free(ht_[t]);
             ht_[t] = fresh;
             moved++;
@@ -220,10 +227,10 @@ class Dict
             while (e) {
                 if (e == old_entry) {
                     if (prev) {
-                        A::template deref<DictEntry>(prev)->next =
+                        A::template write<DictEntry>(prev)->next =
                             new_entry;
                     } else {
-                        derefBuckets(t)[idx] = new_entry;
+                        writeBuckets(t)[idx] = new_entry;
                     }
                     return;
                 }
@@ -242,8 +249,8 @@ class Dict
     newTable(size_t size)
     {
         void *table = alloc_.alloc(size * sizeof(DictEntry *));
-        auto **raw =
-            A::template deref<DictEntry *>(static_cast<DictEntry **>(table));
+        auto raw = A::template write<DictEntry *>(
+            static_cast<DictEntry **>(table));
         for (size_t i = 0; i < size; i++)
             raw[i] = nullptr;
         return table;
@@ -253,6 +260,14 @@ class Dict
     derefBuckets(int t)
     {
         return A::template deref<DictEntry *>(
+            static_cast<DictEntry **>(ht_[t]));
+    }
+
+    /** Store guard over a whole bucket array (one slot assignment). */
+    auto
+    writeBuckets(int t)
+    {
+        return A::template write<DictEntry *>(
             static_cast<DictEntry **>(ht_[t]));
     }
 
@@ -274,15 +289,15 @@ class Dict
              rehashIdx_++) {
             DictEntry *e = derefBuckets(0)[rehashIdx_];
             while (e) {
-                DictEntry *raw = A::template deref<DictEntry>(e);
+                auto raw = A::template write<DictEntry>(e);
                 DictEntry *next = raw->next;
                 const uint64_t h = sdsHash<A>(raw->key);
                 const size_t idx = h & (size_[1] - 1);
                 raw->next = derefBuckets(1)[idx];
-                derefBuckets(1)[idx] = e;
+                writeBuckets(1)[idx] = e;
                 e = next;
             }
-            derefBuckets(0)[rehashIdx_] = nullptr;
+            writeBuckets(0)[rehashIdx_] = nullptr;
             n++;
         }
         if (rehashIdx_ >= size_[0]) {

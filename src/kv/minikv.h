@@ -62,13 +62,13 @@ class MiniKv
             usedMemory_ -= sdsAllocSize(sdsLen<A>(raw->value));
             sdsFree(alloc_, raw->value);
             Sds fresh = sdsNew(alloc_, value);
-            A::template deref<DictEntry>(e)->value = fresh;
+            A::template write<DictEntry>(e)->value = fresh;
             usedMemory_ += sdsAllocSize(value.size());
             lruTouch(e);
         } else {
             e = dict_.insert(key);
             Sds fresh = sdsNew(alloc_, value);
-            A::template deref<DictEntry>(e)->value = fresh;
+            A::template write<DictEntry>(e)->value = fresh;
             usedMemory_ += Dict<A>::entryOverhead(key) +
                            sdsAllocSize(value.size());
             lruPushFront(e);
@@ -145,7 +145,7 @@ class MiniKv
         dict_.forEach([&](DictEntry *e) { entries.push_back(e); });
 
         for (DictEntry *e : entries) {
-            DictEntry *raw = A::template deref<DictEntry>(e);
+            auto raw = A::template write<DictEntry>(e);
             // Move the value sds?
             if (alloc_.shouldMove(raw->value)) {
                 raw->value = moveSds(raw->value);
@@ -161,8 +161,8 @@ class MiniKv
             if (alloc_.shouldMove(e)) {
                 auto *fresh = static_cast<DictEntry *>(
                     alloc_.alloc(sizeof(DictEntry)));
-                std::memcpy(A::template deref<DictEntry>(fresh), raw,
-                            sizeof(DictEntry));
+                std::memcpy(A::template write<DictEntry>(fresh).get(),
+                            raw.get(), sizeof(DictEntry));
                 dict_.replaceEntry(e, fresh);
                 lruReplace(e, fresh);
                 alloc_.free(e);
@@ -199,8 +199,9 @@ class MiniKv
     {
         const uint32_t len = sdsLen<A>(old_sds);
         Sds fresh = alloc_.alloc(sdsAllocSize(len));
-        std::memcpy(A::template deref<SdsHeader>(
-                        static_cast<SdsHeader *>(fresh)),
+        std::memcpy(A::template write<SdsHeader>(
+                        static_cast<SdsHeader *>(fresh))
+                        .get(),
                     A::template deref<SdsHeader>(
                         static_cast<SdsHeader *>(old_sds)),
                     sdsAllocSize(len));
@@ -212,11 +213,11 @@ class MiniKv
     void
     lruPushFront(DictEntry *e)
     {
-        DictEntry *raw = A::template deref<DictEntry>(e);
+        auto raw = A::template write<DictEntry>(e);
         raw->lruPrev = nullptr;
         raw->lruNext = lruHead_;
         if (lruHead_)
-            A::template deref<DictEntry>(lruHead_)->lruPrev = e;
+            A::template write<DictEntry>(lruHead_)->lruPrev = e;
         lruHead_ = e;
         if (!lruTail_)
             lruTail_ = e;
@@ -225,15 +226,15 @@ class MiniKv
     void
     lruUnlink(DictEntry *e)
     {
-        DictEntry *raw = A::template deref<DictEntry>(e);
+        auto raw = A::template write<DictEntry>(e);
         if (raw->lruPrev) {
-            A::template deref<DictEntry>(raw->lruPrev)->lruNext =
+            A::template write<DictEntry>(raw->lruPrev)->lruNext =
                 raw->lruNext;
         } else {
             lruHead_ = raw->lruNext;
         }
         if (raw->lruNext) {
-            A::template deref<DictEntry>(raw->lruNext)->lruPrev =
+            A::template write<DictEntry>(raw->lruNext)->lruPrev =
                 raw->lruPrev;
         } else {
             lruTail_ = raw->lruPrev;
@@ -255,13 +256,13 @@ class MiniKv
     {
         DictEntry *raw = A::template deref<DictEntry>(new_entry);
         if (raw->lruPrev) {
-            A::template deref<DictEntry>(raw->lruPrev)->lruNext =
+            A::template write<DictEntry>(raw->lruPrev)->lruNext =
                 new_entry;
         } else {
             lruHead_ = new_entry;
         }
         if (raw->lruNext) {
-            A::template deref<DictEntry>(raw->lruNext)->lruPrev =
+            A::template write<DictEntry>(raw->lruNext)->lruPrev =
                 new_entry;
         } else {
             lruTail_ = new_entry;

@@ -2,7 +2,8 @@
  * @file
  * Simple dynamic strings, modeled on Redis's sds: a length-prefixed,
  * heap-allocated byte string. The stored pointer may be a handle under
- * AlaskaAlloc; every access goes through the policy's deref().
+ * AlaskaAlloc; every read goes through the policy's deref() and every
+ * store through its write() guard.
  */
 
 #ifndef ALASKA_KV_SDS_H
@@ -39,7 +40,9 @@ Sds
 sdsNew(A &alloc, std::string_view text)
 {
     Sds s = alloc.alloc(sdsAllocSize(text.size()));
-    auto *hdr = A::template deref<SdsHeader>(static_cast<SdsHeader *>(s));
+    // write(): even a freshly allocated block is already a campaign
+    // candidate — its handle entry is live the moment halloc returns.
+    auto hdr = A::template write<SdsHeader>(static_cast<SdsHeader *>(s));
     hdr->len = static_cast<uint32_t>(text.size());
     std::memcpy(hdr->data, text.data(), text.size());
     hdr->data[text.size()] = '\0';

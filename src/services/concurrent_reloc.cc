@@ -1,9 +1,7 @@
 #include "services/concurrent_reloc.h"
 
-#include <cstring>
-#include <vector>
-
 #include "base/logging.h"
+#include "base/speculative_copy.h"
 #include "core/handle.h"
 
 namespace alaska
@@ -36,48 +34,31 @@ tryRelocateConcurrent(Runtime &runtime, uint32_t id)
         return false;
     }
 
-    // Phase 2: speculative copy while mutators may still read old_ptr.
+    // Phase 2: speculative copy, immediately — no drain. Scoped
+    // accessors may keep *reading* pre-mark translations of old_ptr
+    // throughout (and we read it too; fine), and any *writer* holds a
+    // pin: one pinned before our mark was caught above, one pinning
+    // now clears the mark and fails our commit, discarding the
+    // (possibly torn) copy.
     void *new_ptr = runtime.service().alloc(id, size);
-    std::memcpy(new_ptr, old_ptr, size);
+    speculativeCopy(new_ptr, old_ptr, size);
 
-    // Phase 3: commit. An accessor that faulted meanwhile has cleared
+    // Phase 3: commit. An accessor that pinned meanwhile has cleared
     // the mark, and this CAS fails — the relocation is aborted.
     void *expected = reloc::marked(old_ptr);
     if (entry.ptr.compare_exchange_strong(expected, new_ptr,
-                                          std::memory_order_acq_rel)) {
+                                          std::memory_order_seq_cst)) {
+        // Phase 4: grace-deferred reclaim. Scopes that translated
+        // before the commit still read old_ptr; free it only once
+        // every scope open at commit time has closed. (Campaigns
+        // amortize this wait over a limbo list of many sources; the
+        // single-object protocol just eats it.)
+        runtime.waitForGrace(Runtime::advanceCampaignEpoch());
         runtime.service().free(id, old_ptr);
         return true;
     }
     runtime.service().free(id, new_ptr);
     return false;
-}
-
-void *
-translateConcurrent(const void *maybe_handle)
-{
-    const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
-    if (static_cast<int64_t>(v) >= 0)
-        return const_cast<void *>(maybe_handle);
-    HandleTableEntry &e =
-        Runtime::gTableBase[(v >> 32) & (maxHandleId - 1)];
-
-    // seq_cst, not acquire: this load must participate in the single
-    // total order with the caller's pin increment and the mover's
-    // mark/pin-check pair (a Dekker handshake across two locations).
-    // With a weaker load, non-TSO hardware could let the pin and the
-    // mark go mutually unseen, and a write through this translation
-    // would land in an abandoned copy.
-    void *ptr = e.ptr.load(std::memory_order_seq_cst);
-    while (reloc::isMarked(ptr)) {
-        // Abort the in-flight relocation: clear the mark. Whether our
-        // CAS or the mover's commit wins, the loop re-reads a stable
-        // pointer.
-        void *expected = ptr;
-        e.ptr.compare_exchange_strong(expected, reloc::unmarked(ptr),
-                                      std::memory_order_seq_cst);
-        ptr = e.ptr.load(std::memory_order_acquire);
-    }
-    return static_cast<char *>(ptr) + static_cast<uint32_t>(v);
 }
 
 // --- scoped concurrent access ----------------------------------------------
@@ -90,29 +71,13 @@ namespace creloc_detail
 // constinit this makes the translateScoped() fast path a single
 // %fs-relative load (verified in handle_alloc_bench section 3).
 thread_local constinit bool
-    __attribute__((tls_model("local-exec"))) tlsScopePinning = false;
+    __attribute__((tls_model("local-exec"))) tlsScopeMarkAware = false;
 
 namespace
 {
 /** Nesting depth of ConcurrentAccessScope on this thread. */
 thread_local uint32_t tlsScopeDepth = 0;
-/** Entries pinned by translateScoped() inside the current scope. */
-thread_local std::vector<HandleTableEntry *> tlsPinLog;
 } // anonymous namespace
-
-void *
-pinScopedAndTranslate(const void *maybe_handle)
-{
-    const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
-    if (isHandle(v)) {
-        HandleTableEntry *entry =
-            &Runtime::gRuntime->table().entry(handleId(v));
-        entry->state.fetch_add(HandleTableEntry::pinCountOne,
-                               std::memory_order_seq_cst);
-        tlsPinLog.push_back(entry);
-    }
-    return translateConcurrent(maybe_handle);
-}
 
 } // namespace creloc_detail
 
@@ -124,13 +89,15 @@ ConcurrentAccessScope::ConcurrentAccessScope()
     outermost_ = true;
     Runtime *runtime = Runtime::gRuntime;
     state_ = runtime ? runtime->currentThreadStateOrNull() : nullptr;
-    // Publish "in scope" (odd phase) *before* sampling the campaign
+    // Publish "in scope" (odd epoch) *before* sampling the campaign
     // flag, both seq_cst: either the mover's flag store is visible here
-    // (we pin), or our odd phase is visible to the mover's quiescence
-    // wait (it drains us before marking anything).
+    // (we translate mark-aware), or our odd epoch is visible to the
+    // mover's grace wait (it drains us before marking anything). The
+    // epoch advance is the scope's only shared-memory write — derefs
+    // inside the scope are plain loads.
     if (state_)
-        state_->accessSeq.fetch_add(1, std::memory_order_seq_cst);
-    creloc_detail::tlsScopePinning = Runtime::concurrentRelocActive();
+        state_->accessEpoch.fetch_add(1, std::memory_order_seq_cst);
+    creloc_detail::tlsScopeMarkAware = Runtime::concurrentRelocActive();
 }
 
 ConcurrentAccessScope::~ConcurrentAccessScope()
@@ -140,16 +107,11 @@ ConcurrentAccessScope::~ConcurrentAccessScope()
         tlsScopeDepth--;
         return;
     }
-    for (HandleTableEntry *entry : creloc_detail::tlsPinLog) {
-        const uint32_t old = entry->state.fetch_sub(
-            HandleTableEntry::pinCountOne, std::memory_order_seq_cst);
-        ALASKA_ASSERT((old >> HandleTableEntry::pinCountShift) > 0,
-                      "scoped unpin underflow");
-    }
-    creloc_detail::tlsPinLog.clear();
-    creloc_detail::tlsScopePinning = false;
+    creloc_detail::tlsScopeMarkAware = false;
+    // Advance to even: every translation this scope obtained is now
+    // dead, and any grace wait snapshotting our odd epoch unblocks.
     if (state_)
-        state_->accessSeq.fetch_add(1, std::memory_order_seq_cst);
+        state_->accessEpoch.fetch_add(1, std::memory_order_seq_cst);
     tlsScopeDepth--;
 }
 

@@ -6,28 +6,44 @@
  * world, resembling Shenandoah's concurrent compaction:
  *
  *   1. the mover marks the handle's entry (we set the low bit of the
- *      backing pointer — objects are 16-byte aligned) and speculatively
- *      copies the bytes to a new location;
- *   2. an accessor that translates meanwhile detects the mark, and
- *      atomically clears it — aborting the relocation — then proceeds
- *      on the old memory;
+ *      backing pointer — objects are 16-byte aligned), checks the
+ *      entry's pin count, and immediately speculatively copies the
+ *      bytes to a new location — no drain, no wait: the abort window
+ *      is the copy itself, microseconds;
+ *   2. a *pinning* accessor that translates meanwhile detects the
+ *      mark, and atomically clears it — aborting the relocation —
+ *      then proceeds on the old memory;
  *   3. the mover finally tries to CAS {marked old} -> {new}. Success
- *      publishes the move and the old memory is freed; failure means
- *      an accessor intervened, so the copy is discarded.
+ *      publishes the move, but the old memory is NOT freed inline: it
+ *      is only reclaimed after one grace period
+ *      (Runtime::waitForGrace) — campaigns park it on a limbo list —
+ *      so every scope that translated the object before the commit
+ *      keeps reading valid bytes until it closes. A failed CAS means
+ *      an accessor intervened; the copy is discarded.
  *
- * Accessors must use the mark-aware paths while a relocator is active;
- * writes through stale translations are excluded by the abort protocol,
- * not by pausing threads. Two accessor APIs exist:
+ * Two accessor APIs split the safety argument between reads and
+ * writes:
  *
- *  - ConcurrentPin: RAII pin + translate for a single access. Always
- *    safe, pays one atomic RMW pair per access.
  *  - ConcurrentAccessScope + translateScoped(): scope one application
- *    operation; inside it, translations pin only while a campaign is
- *    actually in flight (Runtime::concurrentRelocActive()), and all
- *    pins drop at scope end. When no campaign runs, translateScoped()
- *    is a thread-local flag test in front of the ordinary one-load
- *    translate() — this is the path AnchorageService::relocateCampaign
- *    expects mutators to be on.
+ *    operation; the *read* path. The scope's only shared-memory
+ *    traffic is one epoch store at each outermost boundary
+ *    (ThreadState::accessEpoch); derefs inside it are plain loads —
+ *    never an RMW, not even against an in-flight move (a mover's mark
+ *    is stripped, not cleared). Validity comes from grace-deferred
+ *    reclamation: the source bytes a stale translation points at
+ *    outlive every scope open at commit time. What epochs cannot
+ *    order is a *store* — a write issued through a pre-mark
+ *    translation after the mover's copy would land in the doomed
+ *    source block and be lost when the commit publishes the copy.
+ *  - ConcurrentPin: RAII atomic pin + mark-aware translate; the
+ *    *write* path (and the raw-pointer escape hatch, pinned<T>). The
+ *    pin/mark Dekker handshake closes the lost-store window: a pin
+ *    taken before the mover's mark fails its pin check; one taken
+ *    after clears the mark and fails its commit CAS. Either way the
+ *    pinned translation is writable for the pin's lifetime.
+ *
+ * This is the discipline AnchorageService::relocateCampaign expects
+ * mutators on: reads inside scopes, stores under pins.
  */
 
 #ifndef ALASKA_SERVICES_CONCURRENT_RELOC_H
@@ -42,25 +58,68 @@ namespace alaska
 {
 
 /**
- * Try to relocate one object concurrently with running mutators.
- * Backing memory is allocated/freed through the runtime's service.
- * This is the low-level protocol; Anchorage campaigns implement the
- * same state machine with placement-aware destinations
- * (AnchorageService::relocateCampaign).
+ * Try to relocate one object concurrently with running mutators:
+ * mark, check pins, copy, CAS-commit — all immediately — then wait
+ * one grace period before freeing the source, so every scope holding
+ * a pre-commit translation has closed by the time the bytes are
+ * reused. Backing memory is allocated/freed through the runtime's
+ * service. This is the low-level single-object protocol; Anchorage
+ * campaigns implement the same state machine with placement-aware
+ * destinations and the source parked on a limbo list so one grace
+ * covers many reclaims (AnchorageService::relocateCampaign).
  *
  * Aborts if the object is pinned (atomic pin count, see ConcurrentPin)
  * — the paper: "the relocation is aborted ... as some other thread has
- * pinned that handle while the copy was being made".
+ * pinned that handle while the copy was being made". Scoped accessors
+ * neither pin nor abort the move; their stale reads are covered by the
+ * grace-deferred free instead.
  *
  * @return true if the move committed, false if it was aborted.
  */
 bool tryRelocateConcurrent(Runtime &runtime, uint32_t id);
 
 /**
- * Translation that cooperates with concurrent relocation: if the entry
- * is marked, the accessor aborts the in-flight move and wins.
+ * The write-capable translation under concurrent relocation: if the
+ * entry is marked, the accessor aborts the in-flight move and wins,
+ * then proceeds on the old memory. Callers that intend to store must
+ * pair this with a pin taken *first* (ConcurrentPin::pinFor) — the
+ * clearing CAS here is the accessor half of the mover handshake, and
+ * the pin is what makes it cover the store's whole duration rather
+ * than the translation instant. Read-only callers want
+ * translateScoped() instead, which never RMWs.
+ *
+ * Defined inline so guards composed from it (pinned<T>, the KV write
+ * path) pay no call overhead; cold keeps it out of the way of the
+ * read-path loops it shares headers with.
  */
-void *translateConcurrent(const void *maybe_handle);
+__attribute__((cold)) inline void *
+translateConcurrent(const void *maybe_handle)
+{
+    const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
+    if (static_cast<int64_t>(v) >= 0)
+        return const_cast<void *>(maybe_handle);
+    HandleTableEntry &e =
+        Runtime::gTableBase[(v >> 32) & (maxHandleId - 1)];
+
+    // seq_cst, not acquire: this load must participate in the single
+    // total order with the mover's mark/grace/commit sequence (and,
+    // for pinned<T>, with the caller's pin increment and the mover's
+    // pin check — a Dekker handshake across two locations). With a
+    // weaker load, non-TSO hardware could let the accessor and the
+    // mark go mutually unseen, and a write through this translation
+    // would land in an abandoned copy.
+    void *ptr = e.ptr.load(std::memory_order_seq_cst);
+    while (reloc::isMarked(ptr)) {
+        // Abort the in-flight relocation: clear the mark. Whether our
+        // CAS or the mover's commit wins, the loop re-reads a stable
+        // pointer.
+        void *expected = ptr;
+        e.ptr.compare_exchange_strong(expected, reloc::unmarked(ptr),
+                                      std::memory_order_seq_cst);
+        ptr = e.ptr.load(std::memory_order_acquire);
+    }
+    return static_cast<char *>(ptr) + static_cast<uint32_t>(v);
+}
 
 /**
  * Pin guard for mutators racing with concurrent relocation. Orders an
@@ -128,34 +187,42 @@ namespace creloc_detail
 {
 
 /**
- * True while the innermost ConcurrentAccessScope on this thread decided
- * to pin (i.e. a campaign was active when the scope opened). Read by
- * the translateScoped() fast path; written only by the scope.
+ * True while the innermost ConcurrentAccessScope on this thread opened
+ * with a campaign active (Runtime::concurrentRelocActive()): derefs
+ * must then take the mark-aware load. Read by the translateScoped()
+ * fast path; written only by the scope.
  * constinit: without it, every access from another TU calls the TLS
  * init wrapper, which costs ~20% on the translation fast path.
  */
-extern thread_local constinit bool tlsScopePinning
+extern thread_local constinit bool tlsScopeMarkAware
     __attribute__((tls_model("local-exec")));
-
-/** Slow path: pin the handle into the scope's log, then translate. */
-void *pinScopedAndTranslate(const void *maybe_handle);
 
 } // namespace creloc_detail
 
 /**
  * Brackets one application operation (e.g. one KV request) on a mutator
- * thread. On entry the scope publishes the thread as "accessing" (see
- * ThreadState::accessSeq) and samples the global campaign flag; every
- * translateScoped() inside the scope then pins iff a campaign was
- * active. On exit all scoped pins drop. Scopes nest; only the outermost
- * publishes and releases. Must not span a safepoint poll: pins held at
- * a barrier would be seen by the stop-the-world pinned-set scan and
- * block compaction of those objects.
+ * thread. On entry the scope publishes the thread as "accessing" by
+ * advancing its epoch to odd (see ThreadState::accessEpoch) and samples
+ * the global campaign flag; every translateScoped() inside the scope
+ * then takes the mark-stripping load iff a campaign was active — never
+ * a shared-memory RMW. On exit the epoch advances to even, which is
+ * what a campaign's grace wait (Runtime::waitForGrace) observes: the
+ * mover copies and commits without waiting for anyone, but it only
+ * *frees* an evacuated source block after every scope open at commit
+ * time has closed — so every translation obtained inside this scope
+ * reads valid bytes (old copy or new, both correct) until the scope
+ * ends. Stores are NOT covered: an epoch cannot stop a store through a
+ * stale translation from landing in an already-copied source block.
+ * Store through a pin (pinned<T>, the KV policies' write path), whose
+ * handshake aborts the mover instead. Scopes nest; only the outermost
+ * publishes and releases. Must not span a safepoint poll (a scope held
+ * across a park would stall campaigns' grace periods for the barrier's
+ * whole duration); use pinned<T> to keep a raw pointer across polls.
  *
- * Registered threads get the full drain protocol (a campaign waits for
- * in-flight scopes that missed the flag). Unregistered threads still
- * pin correctly once they see the flag but are invisible to the drain;
- * mutators racing a relocator should be registered.
+ * Registered threads get the full drain protocol (campaign grace waits
+ * cover their scopes). Unregistered threads are invisible to grace
+ * waits and get no reclamation deferral; mutators racing a relocator
+ * must be registered.
  */
 class ConcurrentAccessScope
 {
@@ -173,17 +240,38 @@ class ConcurrentAccessScope
 };
 
 /**
- * The mutator translation path for concurrent-relocation-aware code:
+ * The mutator *read* path for concurrent-relocation-aware code:
  * identical to translate() (one thread-local test more) when no
- * campaign runs, pin+mark-aware when one does. Requires an enclosing
- * ConcurrentAccessScope on this thread.
+ * campaign runs, and still a plain load-translate when one does — a
+ * mover's mark is stripped, never cleared, so this path costs no RMW
+ * and aborts no move even mid-copy. Requires an enclosing
+ * ConcurrentAccessScope on this thread — the scope's epoch, honored by
+ * the mover's grace-deferred reclamation, is what keeps the returned
+ * pointer readable; nothing per-object is recorded here. The pointer
+ * is NOT writable while campaigns can run: a store may need to abort
+ * an in-flight copy of this very object, which only the pin handshake
+ * (translateConcurrent under ConcurrentPin/pinned<T>) can do.
  */
 inline void *
 translateScoped(const void *maybe_handle)
 {
-    if (__builtin_expect(!creloc_detail::tlsScopePinning, 1))
+    if (__builtin_expect(!creloc_detail::tlsScopeMarkAware, 1))
         return translate(maybe_handle);
-    return creloc_detail::pinScopedAndTranslate(maybe_handle);
+    // Campaign in flight: same shape as translate(), plus the mark
+    // strip (one AND). A marked entry is an in-flight move whose
+    // source is still the authoritative bytes; a committed entry
+    // points at the copy. Either read is correct — the source stays
+    // mapped until a grace period covers this scope (limbo).
+    const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
+    if (static_cast<int64_t>(v) >= 0)
+        return const_cast<void *>(maybe_handle);
+    const HandleTableEntry &e =
+        Runtime::gTableBase[(v >> 32) & (maxHandleId - 1)];
+    // acquire: a load that observes the mover's committed pointer must
+    // also observe the copied bytes it points at.
+    void *ptr = e.ptr.load(std::memory_order_acquire);
+    return static_cast<char *>(reloc::unmarked(ptr)) +
+           static_cast<uint32_t>(v);
 }
 
 } // namespace alaska

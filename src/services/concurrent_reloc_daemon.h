@@ -7,12 +7,15 @@
  * thread and drives it against the wall clock. In Concurrent mode every
  * pass the controller schedules is a relocation campaign
  * (AnchorageService::relocateCampaign): the thread snapshots sparse
- * sub-heaps, walks candidates top-down, and moves each object with the
- * mark/copy/CAS protocol of paper §7 — mutators keep running and
- * implicitly veto any move they race with. In StopTheWorld mode the
- * same thread triggers classic barrier passes, and Hybrid blends the
- * two under abort-rate feedback, so one knob (ControlParams::mode)
- * selects the execution model.
+ * sub-heaps, walks candidates top-down, and moves each object through
+ * paper §7's mark -> copy -> commit protocol with no wait in the
+ * window — mutators keep running, their scoped derefs pay no RMW and
+ * never abort a move, and moved sources are reclaimed only after a
+ * grace period (the limbo list) rather than readers being drained
+ * up front or aborted via pins. In StopTheWorld
+ * mode the same thread triggers classic barrier passes, and Hybrid
+ * blends the two under abort-rate feedback, so one knob
+ * (ControlParams::mode) selects the execution model.
  *
  * Between ticks the daemon parks in external mode, so barriers (its
  * own Hybrid fallbacks included) never wait on its sleep.

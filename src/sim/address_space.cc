@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "base/speculative_copy.h"
 
 namespace alaska
 {
@@ -29,8 +30,13 @@ RealAddressSpace::unmap(uint64_t base, size_t bytes)
 void
 RealAddressSpace::copy(uint64_t dst, uint64_t src, size_t len)
 {
-    std::memmove(reinterpret_cast<void *>(dst),
-                 reinterpret_cast<void *>(src), len);
+    // speculativeCopy, not memmove: relocation campaigns copy between
+    // their grace wait and their commit CAS, a window in which an
+    // aborting mutator may still write the source (see
+    // base/speculative_copy.h for why this is benign and how TSAN
+    // builds are kept quiet about it).
+    speculativeCopy(reinterpret_cast<void *>(dst),
+                    reinterpret_cast<void *>(src), len);
     pages_.touch(dst, len);
 }
 

@@ -316,9 +316,9 @@ TEST_F(AnchorageShardStealTest,
                     runtime_.hfree(window[slot]);
                 window[slot] = runtime_.halloc(kKeepSize);
                 {
-                    ConcurrentAccessScope scope;
-                    std::memset(translateScoped(window[slot]), 0x5a,
-                                kKeepSize);
+                    // Stores take the pin handshake, not the scope.
+                    ConcurrentPin pin(window[slot]);
+                    std::memset(pin.get(), 0x5a, kKeepSize);
                 }
                 hot_ops.fetch_add(1, std::memory_order_relaxed);
                 poll();

@@ -9,9 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "api/api.h"
@@ -168,31 +170,49 @@ TEST_F(ApiTest, HboxReleaseBridgesToRawApiAndAdoptBack)
 
 // ===== access<T> / pinned<T> vs live relocation ============================
 
-TEST_F(ApiTest, AccessGuardOutlivesCampaignCommitAttempt)
+TEST_F(ApiTest, AccessGuardDefersSourceReclaimViaGrace)
 {
     hbox<int64_t> box(runtime_, 8);
     const uint32_t id = box.ref().id();
     {
         alaska::access<int64_t> mem(box);
         mem[0] = 1234;
+        mem[1] = 5678;
     }
 
     // Announce concurrent defrag, as a daemon or campaign driver would
-    // *before* mutators run: guards now pin.
+    // *before* mutators run: guards now open epoch scopes.
     Runtime::declareConcurrentDefrag();
     ASSERT_EQ(Runtime::translationDiscipline(),
               TranslationDiscipline::Scoped);
+    std::atomic<bool> reclaimed{false};
+    std::thread mover;
     {
         alaska::access<int64_t> guard(box);
-        int64_t *raw = guard.get();
-        // A relocation racing the live guard must abort (the object is
-        // pinned), leaving the guard's translation valid...
-        EXPECT_FALSE(tryRelocateConcurrent(runtime_, id));
-        raw[1] = 5678; // ...so this write cannot land in a stale copy.
-        EXPECT_EQ(raw, guard.get());
+        const int64_t *raw = guard.get();
+        // A mover on another thread marks, copies and commits the move
+        // immediately — no wait in the window — then parks in its grace
+        // wait before freeing the source our translation still reads.
+        mover = std::thread([&] {
+            ThreadRegistration reg(runtime_);
+            EXPECT_TRUE(tryRelocateConcurrent(runtime_, id));
+            reclaimed.store(true, std::memory_order_seq_cst);
+        });
+        auto &entry = runtime_.table().entry(id);
+        while (reloc::unmarked(
+                   entry.ptr.load(std::memory_order_seq_cst)) ==
+               static_cast<void *>(const_cast<int64_t *>(raw)))
+            std::this_thread::yield();
+        // Committed but not reclaimed: the mover sits in the grace wait
+        // our open scope stalls, so the stale source stays readable.
+        EXPECT_FALSE(reclaimed.load(std::memory_order_seq_cst));
+        EXPECT_EQ(raw[0], 1234);
+        EXPECT_EQ(raw[1], 5678);
+        EXPECT_EQ(raw, guard.get()); // the guard's cached view is stable
     }
-    // Guard gone: the same relocation now commits, contents intact.
-    EXPECT_TRUE(tryRelocateConcurrent(runtime_, id));
+    // Guard gone: grace elapses and the mover frees the source.
+    mover.join();
+    EXPECT_TRUE(reclaimed.load(std::memory_order_seq_cst));
     Runtime::retireConcurrentDefrag();
 
     alaska::access<int64_t> after(box);
@@ -200,27 +220,61 @@ TEST_F(ApiTest, AccessGuardOutlivesCampaignCommitAttempt)
     EXPECT_EQ(after[1], 5678);
 }
 
-TEST_F(ApiTest, ScopedDerefPinsUntilScopeCloses)
+TEST_F(ApiTest, ScopedDerefStaysValidUntilScopeCloses)
 {
     hbox<int64_t> box(runtime_, 8);
     const uint32_t id = box.ref().id();
+    {
+        alaska::access<int64_t> mem(box);
+        mem[2] = 99;
+    }
 
     // Simulate a campaign in flight (flag up, as relocateCampaign
-    // raises it) so the scope decides to pin its derefs.
+    // raises it) so the scope's derefs take the mark-aware strip path.
     Runtime::declareConcurrentDefrag();
     Runtime::gConcurrentRelocCampaigns.fetch_add(1);
+    std::atomic<bool> reclaimed{false};
+    bool committed = false;
+    std::thread mover;
     {
         access_scope op;
-        int64_t *raw = api::deref(box.get());
-        raw[2] = 99;
-        // Scoped derefs pin until the scope closes — the operation's
-        // raw pointers stay valid even if the campaign tries to move
-        // this object mid-operation.
-        EXPECT_FALSE(tryRelocateConcurrent(runtime_, id));
+        const int64_t *raw = api::deref(box.get());
+        auto &entry = runtime_.table().entry(id);
+
+        // The strip path reads through a marked entry without touching
+        // it: no RMW, the mark survives, the move is never aborted.
+        void *unmarked_ptr = entry.ptr.load(std::memory_order_seq_cst);
+        entry.ptr.store(reloc::marked(unmarked_ptr),
+                        std::memory_order_seq_cst);
         EXPECT_EQ(api::deref(box.get()), raw);
+        EXPECT_TRUE(reloc::isMarked(
+            entry.ptr.load(std::memory_order_seq_cst)));
+        entry.ptr.store(unmarked_ptr, std::memory_order_seq_cst);
+
+        mover = std::thread([&] {
+            ThreadRegistration reg(runtime_);
+            committed = tryRelocateConcurrent(runtime_, id);
+            reclaimed.store(true, std::memory_order_seq_cst);
+        });
+        // The mover's copy and commit proceed under our open scope —
+        // only the source free waits for our epoch.
+        while (reloc::unmarked(
+                   entry.ptr.load(std::memory_order_seq_cst)) ==
+               static_cast<void *>(const_cast<int64_t *>(raw)))
+            std::this_thread::yield();
+        EXPECT_FALSE(reclaimed.load(std::memory_order_seq_cst));
+        // The stale translation stays readable: the source is parked on
+        // limbo, not freed, until our scope closes.
+        EXPECT_EQ(raw[2], 99);
+        // A *new* deref inside the scope follows the entry to the
+        // copy: same bytes, new home.
+        const int64_t *fresh = api::deref(box.get());
+        EXPECT_NE(fresh, raw);
+        EXPECT_EQ(fresh[2], 99);
     }
-    // Scope closed: all scoped pins dropped, the move can proceed.
-    EXPECT_TRUE(tryRelocateConcurrent(runtime_, id));
+    mover.join();
+    EXPECT_TRUE(reclaimed.load(std::memory_order_seq_cst));
+    EXPECT_TRUE(committed);
     Runtime::gConcurrentRelocCampaigns.fetch_sub(1);
     Runtime::retireConcurrentDefrag();
 
