@@ -22,7 +22,10 @@
  * Concurrent run at shards=1 is always included as the pre-shard
  * baseline column), --records=N, --ops=N (single-thread section),
  * --mrecords=N --mops=N (per-thread, multi-thread section),
- * --single-only, --multi-only.
+ * --single-only, --multi-only, --telemetry (print the runtime
+ * telemetry snapshot after the run), --trace=FILE (record the defrag
+ * pipeline's trace events and export Chrome trace-event JSON, viewable
+ * at ui.perfetto.dev — see docs/OBSERVABILITY.md).
  */
 
 #include <algorithm>
@@ -38,6 +41,8 @@
 
 #include "anchorage/anchorage_service.h"
 #include "anchorage/control.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "api/api.h"
 #include "base/stats.h"
 #include "base/timer.h"
@@ -531,6 +536,8 @@ main(int argc, char **argv)
     uint64_t mops = 300000;
     bool single_only = false;
     bool multi_only = false;
+    bool telemetry_dump = false;
+    const char *trace_file = nullptr;
     const char *out_file = nullptr;
 
     for (int i = 1; i < argc; i++) {
@@ -562,6 +569,11 @@ main(int argc, char **argv)
             single_only = true;
         } else if (arg == "--multi-only") {
             multi_only = true;
+        } else if (arg == "--telemetry") {
+            telemetry_dump = true;
+        } else if (value("--trace=") != nullptr) {
+            // Point into argv, not the loop-local string.
+            trace_file = argv[i] + std::strlen("--trace=");
         } else if (const char *v = alaska::bench::outFileArg(argv[i])) {
             out_file = v; // points into argv, which outlives the loop
         } else {
@@ -569,11 +581,15 @@ main(int argc, char **argv)
                          "usage: %s [--smoke] [--threads=N] "
                          "[--shards=N] [--records=N] [--ops=N] "
                          "[--mrecords=N] [--mops=N] [--single-only] "
-                         "[--multi-only] [--out=FILE]\n",
+                         "[--multi-only] [--telemetry] [--trace=FILE] "
+                         "[--out=FILE]\n",
                          argv[0]);
             return 2;
         }
     }
+
+    if (trace_file != nullptr)
+        alaska::telemetry::enableTracing();
 
     alaska::bench::JsonReport report;
     alaska::bench::JsonReport *rp = out_file ? &report : nullptr;
@@ -581,6 +597,21 @@ main(int argc, char **argv)
         runSingleThreadSection(records, ops, rp);
     if (!single_only)
         runMultiThreadSection(threads, shards, mrecords, mops, rp);
+    if (telemetry_dump) {
+        std::printf("\n");
+        alaska::telemetry::writeText(alaska::telemetry::snapshot(),
+                                     stdout);
+    }
+    if (trace_file != nullptr) {
+        if (!alaska::telemetry::dumpTrace(trace_file)) {
+            std::fprintf(stderr, "cannot write trace to %s\n",
+                         trace_file);
+            return 1;
+        }
+        std::printf("wrote Chrome trace to %s (open at "
+                    "https://ui.perfetto.dev)\n",
+                    trace_file);
+    }
     if (out_file != nullptr &&
         !report.writeTo(out_file, "tab_ycsb_latency"))
         return 1;

@@ -29,6 +29,7 @@
 #include "kv/minikv.h"
 #include "sim/address_space.h"
 #include "sim/clock.h"
+#include "telemetry/telemetry.h"
 
 int
 main()
@@ -96,5 +97,10 @@ main()
                 kv.get("user:1").has_value() ? "hit" : "miss (evicted)");
     std::printf("the KV code never heard about any of this — that is "
                 "the point.\n");
+
+    // What the runtime saw while serving: the telemetry counters and
+    // histograms the defrag pipeline recorded (docs/OBSERVABILITY.md).
+    std::printf("\n");
+    alaska::telemetry::writeText(alaska::telemetry::snapshot(), stdout);
     return 0;
 }

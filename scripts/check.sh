@@ -18,9 +18,10 @@ if [ "${1:-}" = "--tsan" ]; then
     cmake -B build-tsan -S . -DALASKA_TSAN=ON
     cmake --build build-tsan -j "$(nproc)" --target \
         concurrent_reloc_daemon_test --target \
-        handle_shard_stress_test --target epoch_grace_test
+        handle_shard_stress_test --target epoch_grace_test \
+        --target telemetry_test
     for t in concurrent_reloc_daemon_test handle_shard_stress_test \
-             epoch_grace_test; do
+             epoch_grace_test telemetry_test; do
         ./build-tsan/"$t"
     done
     echo "tsan OK"
@@ -45,11 +46,22 @@ ctest --output-on-failure -j "$(nproc)"
 # configuration so neither allocation path can bit-rot. The fig12
 # smoke additionally asserts the batched-defrag invariant: no single
 # barrier of a batched pass moves more than its batch budget.
-./handle_alloc_bench > /dev/null
-./tab_ycsb_latency --smoke --shards=8 --out=bench_ycsb.json > /dev/null
+./handle_alloc_bench --out=bench_handle_alloc.json > /dev/null
+./tab_ycsb_latency --smoke --shards=8 --telemetry \
+    --trace=bench_trace.json --out=bench_ycsb.json > /dev/null
 ./tab_ycsb_latency --smoke --multi-only --shards=1 > /dev/null
 ./fig12_memcached_pauses --smoke > /dev/null
 echo "bench smoke OK"
+
+# Trace gate: the telemetry-instrumented YCSB smoke must emit a
+# parseable Chrome trace with at least one campaign span and one
+# barrier span — proof the defrag pipeline's tracer stays wired (see
+# docs/OBSERVABILITY.md for the event schema).
+if command -v python3 > /dev/null 2>&1; then
+    python3 ../scripts/check_trace.py bench_trace.json barrier
+else
+    echo "check_trace skipped (no python3)"
+fi
 
 # Bench regression gate: the sharded YCSB smoke's JSON is diffed
 # against the committed baseline — structural changes (metric set,
@@ -57,6 +69,8 @@ echo "bench smoke OK"
 # warns (pass --strict in a quiet environment to enforce it).
 if command -v python3 > /dev/null 2>&1; then
     python3 ../scripts/diff_bench.py ../BENCH_ycsb.json bench_ycsb.json
+    python3 ../scripts/diff_bench.py ../BENCH_handle_alloc.json \
+        bench_handle_alloc.json
 else
     echo "diff_bench skipped (no python3)"
 fi

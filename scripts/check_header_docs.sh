@@ -1,20 +1,21 @@
 #!/usr/bin/env sh
 # Docs gate: every top-level (public) class/struct declared in the
-# public headers under src/core/, src/api/, src/anchorage/ and
-# src/services/ must carry a doc comment (a /** ... */ block or ///
-# line immediately above it). These are the layers new code builds on:
-# core is the raw contract, api the typed surface, anchorage/services
-# carry the locking and shard-affinity contracts. Forward declarations
-# (lines ending in ';') are exempt. Nested types are indented and
-# therefore not matched; their documentation is reviewed with the
-# enclosing class.
+# public headers under src/core/, src/api/, src/anchorage/,
+# src/services/, src/telemetry/ and src/base/ must carry a doc comment
+# (a /** ... */ block or /// line immediately above it). These are the
+# layers new code builds on: core is the raw contract, api the typed
+# surface, anchorage/services carry the locking and shard-affinity
+# contracts, telemetry the metric/trace contracts, base the shared
+# utilities. Forward declarations (lines ending in ';') are exempt.
+# Nested types are indented and therefore not matched; their
+# documentation is reviewed with the enclosing class.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 status=0
 for header in src/core/*.h src/api/*.h src/anchorage/*.h \
-              src/services/*.h; do
+              src/services/*.h src/telemetry/*.h src/base/*.h; do
     if ! awk -v file="$header" '
         /^[[:space:]]*$/ { next }
         /^(class|struct)[[:space:]]+[A-Za-z_]/ && $0 !~ /;[[:space:]]*$/ {

@@ -5,6 +5,8 @@
 #include "base/logging.h"
 #include "base/timer.h"
 #include "core/translate.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace alaska::anchorage
 {
@@ -143,6 +145,10 @@ AnchorageService::alloc(uint32_t id, size_t size)
     // Oversized objects get a dedicated sub-heap.
     const size_t heap_bytes = std::max(config_.subHeapBytes, size);
 
+    // Telemetry: probes counts sub-heaps tried beyond the cursor; the
+    // alloc_miss_depth histogram only sees the miss path, keeping the
+    // cursor-hit fast path clean.
+    size_t probes = 0;
     if (!sh.heaps.empty()) {
         auto r = sh.heaps[sh.cursor]->alloc(id, size);
         if (r.ok)
@@ -158,9 +164,11 @@ AnchorageService::alloc(uint32_t id, size_t size)
         // reshuffle densities wholesale (defrag, trim, chain growth).
         if (sh.fallbackHint < sh.heaps.size() &&
             sh.fallbackHint != sh.cursor) {
+            probes++;
             r = sh.heaps[sh.fallbackHint]->allocFromFreeList(id, size);
             if (r.ok) {
                 sh.cursor = sh.fallbackHint;
+                telemetry::record(telemetry::Hist::AllocMissDepth, probes);
                 return reinterpret_cast<void *>(r.addr);
             }
         }
@@ -169,10 +177,12 @@ AnchorageService::alloc(uint32_t id, size_t size)
         for (size_t i : sh.densityOrder) {
             if (i == sh.cursor)
                 continue;
+            probes++;
             r = sh.heaps[i]->allocFromFreeList(id, size);
             if (r.ok) {
                 sh.cursor = i;
                 sh.fallbackHint = i;
+                telemetry::record(telemetry::Hist::AllocMissDepth, probes);
                 return reinterpret_cast<void *>(r.addr);
             }
         }
@@ -201,18 +211,26 @@ AnchorageService::alloc(uint32_t id, size_t size)
             for (auto &heap : other.heaps) {
                 if (heap->liveBytes() * 2 < heap->extent())
                     continue; // sparse: a campaign's source, not ours
+                probes++;
                 r = heap->allocFromFreeList(id, size);
-                if (r.ok)
+                if (r.ok) {
+                    telemetry::count(telemetry::Counter::ShardHoleSteal);
+                    telemetry::traceInstant("shard_steal");
+                    telemetry::record(telemetry::Hist::AllocMissDepth,
+                                      probes);
                     return reinterpret_cast<void *>(r.addr);
+                }
             }
         }
         for (size_t i : sh.densityOrder) {
             if (i == sh.cursor)
                 continue;
+            probes++;
             r = sh.heaps[i]->alloc(id, size);
             if (r.ok) {
                 sh.cursor = i;
                 sh.fallbackHint = i;
+                telemetry::record(telemetry::Hist::AllocMissDepth, probes);
                 return reinterpret_cast<void *>(r.addr);
             }
         }
@@ -223,6 +241,8 @@ AnchorageService::alloc(uint32_t id, size_t size)
     sh.cursor = sh.heaps.size() - 1;
     auto r = fresh->alloc(id, size);
     ALASKA_ASSERT(r.ok, "fresh sub-heap cannot satisfy %zu bytes", size);
+    if (probes > 0)
+        telemetry::record(telemetry::Hist::AllocMissDepth, probes + 1);
     return reinterpret_cast<void *>(r.addr);
 }
 
@@ -232,6 +252,8 @@ AnchorageService::free(uint32_t id, void *ptr)
     (void)id;
     const HeapRegion *region = regionOf(reinterpret_cast<uint64_t>(ptr));
     ALASKA_ASSERT(region != nullptr, "free of pointer outside the heap");
+    if (region->shard != homeShardIndex())
+        telemetry::count(telemetry::Counter::CrossShardFree);
     Shard &sh = *shards_[region->shard];
     std::lock_guard<std::mutex> guard(sh.mutex);
     region->heap->free(reinterpret_cast<uint64_t>(ptr));
@@ -619,6 +641,7 @@ AnchorageService::relocateCampaign(size_t max_bytes)
     bool expected = false;
     if (!campaignActive_.compare_exchange_strong(expected, true))
         return stats;
+    telemetry::TraceSpan campaign_span("campaign");
 
     // Raise the global flag (and the scoped-discipline demand it
     // implies, for accessors that pick their idiom dynamically), then
@@ -928,6 +951,7 @@ AnchorageService::relocateOneConcurrent(const Candidate &cand,
     if (dest_heap == nullptr) {
         stats.attempts++;
         stats.noSpace++;
+        telemetry::count(telemetry::Counter::CampaignNoSpace);
         return;
     }
     auto releaseDest = [&] {
@@ -944,6 +968,7 @@ AnchorageService::relocateOneConcurrent(const Candidate &cand,
                                            std::memory_order_seq_cst)) {
         releaseDest();
         stats.aborted++;
+        telemetry::count(telemetry::Counter::CampaignAbort);
         return;
     }
     auto abortUnmark = [&] {
@@ -965,6 +990,7 @@ AnchorageService::relocateOneConcurrent(const Candidate &cand,
         releaseDest();
         stats.aborted++;
         stats.pinnedSkips++;
+        telemetry::count(telemetry::Counter::CampaignAbort);
         return;
     }
 
@@ -975,7 +1001,10 @@ AnchorageService::relocateOneConcurrent(const Candidate &cand,
     // pins: pre-mark pins were caught above, a pin taken during the
     // copy clears our mark and the CAS below fails, discarding the
     // torn copy.
+    Stopwatch copy_watch;
     space_.copy(dest_addr, cand.addr, bytes);
+    telemetry::record(telemetry::Hist::CampaignCopyNs,
+                      copy_watch.elapsedNs());
     void *expected = reloc::marked(old_ptr);
     if (entry.ptr.compare_exchange_strong(
             expected, reinterpret_cast<void *>(dest_addr),
@@ -992,9 +1021,11 @@ AnchorageService::relocateOneConcurrent(const Candidate &cand,
         stats.movedObjects++;
         stats.movedBytes += bytes;
         budget -= std::min(budget, bytes);
+        telemetry::count(telemetry::Counter::CampaignCommit);
     } else {
         releaseDest();
         stats.aborted++;
+        telemetry::count(telemetry::Counter::CampaignAbort);
     }
 }
 
@@ -1010,6 +1041,9 @@ AnchorageService::sealLimboBatch(std::deque<PendingReclaim> &pending,
     batch.ticket = runtime_->beginGrace(Runtime::advanceCampaignEpoch());
     batch.blocks = std::move(limbo);
     batch.bytes = limbo_bytes;
+    batch.sealNs = telemetry::traceNowNs();
+    telemetry::count(telemetry::Counter::LimboSeal);
+    telemetry::traceInstant("limbo_seal");
     limbo.clear();
     pending_bytes += limbo_bytes;
     limbo_bytes = 0;
@@ -1030,6 +1064,9 @@ AnchorageService::drainPending(std::deque<PendingReclaim> &pending,
             // Backpressure (or a drain point): the campaign's only
             // steady-state wait, paid on the *oldest* ticket — the one
             // closest to done — never per move.
+            telemetry::count(telemetry::Counter::LimboStall);
+            telemetry::count(telemetry::Counter::GraceWait);
+            telemetry::TraceSpan stall_span("limbo_stall");
             Stopwatch watch;
             while (!runtime_->graceElapsed(front.ticket))
                 std::this_thread::sleep_for(std::chrono::microseconds(20));
@@ -1037,6 +1074,14 @@ AnchorageService::drainPending(std::deque<PendingReclaim> &pending,
             stats.graceWaitSec += watch.elapsedSec();
         }
         freeBatch(front, stats);
+        const uint64_t retire_ns = telemetry::traceNowNs();
+        if (front.sealNs != 0) {
+            telemetry::record(telemetry::Hist::GraceAgeNs,
+                              retire_ns - front.sealNs);
+            telemetry::traceComplete("grace", front.sealNs, retire_ns);
+        }
+        telemetry::count(telemetry::Counter::LimboRetire);
+        telemetry::traceInstant("limbo_retire");
         pending_bytes -= front.bytes;
         pending.pop_front();
     }

@@ -582,6 +582,9 @@ class AnchorageService : public Service
         std::vector<LimboBlock> blocks;
         size_t bytes = 0;
         std::vector<HeapRef> sources;
+        /** telemetry::traceNowNs() at seal, for the grace_age_ns
+         *  histogram and the retire-side "grace" trace span. */
+        uint64_t sealNs = 0;
     };
 
     /** Seal the open limbo batch behind a fresh grace ticket and queue

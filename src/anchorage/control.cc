@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/trace.h"
+
 namespace alaska::anchorage
 {
 
@@ -36,6 +38,7 @@ DefragController::tick()
 ControlAction
 DefragController::runPass()
 {
+    telemetry::TraceSpan tick_span("controller_tick");
     ControlAction action;
     action.defragged = true;
 

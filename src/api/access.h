@@ -128,7 +128,10 @@ class access_scope
     {
         if (Runtime::translationDiscipline() ==
             TranslationDiscipline::Scoped) {
+            // ConcurrentAccessScope counts the scope_open itself.
             scope_.emplace();
+        } else {
+            telemetry::countHot(telemetry::Counter::ScopeOpen);
         }
     }
 
@@ -242,9 +245,12 @@ class pinned
             // handshake): campaigns check pin counts, not other
             // threads' stacks, so this is what makes an in-flight
             // mover abort; the mark-aware re-translation replaces a
-            // possibly marked pointer from the plain path.
+            // possibly marked pointer from the plain path. pinFor
+            // counts the deref_pinned telemetry for this branch.
             entry_ = ConcurrentPin::pinFor(maybe_handle);
             raw_ = static_cast<T *>(translateConcurrent(maybe_handle));
+        } else {
+            telemetry::countHot(telemetry::Counter::DerefPinned);
         }
     }
 

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace alaska
 {
@@ -94,6 +95,8 @@ HandleTable::stealBatch(uint32_t *out, uint32_t want)
             shard.freeList.pop_back();
         }
     }
+    if (n > 0)
+        telemetry::count(telemetry::Counter::IdShardSteal);
     return n;
 }
 

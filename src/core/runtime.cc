@@ -7,6 +7,9 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "base/timer.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace alaska
 {
@@ -84,8 +87,10 @@ Runtime::allocateHandleId()
     if (ts == nullptr)
         return table_.allocate();
     HandleMagazine &mag = ts->magazine;
-    if (mag.empty())
+    if (mag.empty()) {
         mag.count = table_.reserveBatch(mag.ids, HandleMagazine::capacity);
+        telemetry::count(telemetry::Counter::MagazineRefill);
+    }
     const uint32_t id = mag.ids[--mag.count];
     table_.activate(id);
     return id;
@@ -106,6 +111,7 @@ Runtime::releaseHandleId(uint32_t id)
         // pattern oscillating at the boundary stays off the shards.
         constexpr uint32_t flush = HandleMagazine::capacity / 2;
         table_.unreserveBatch(mag.ids, flush);
+        telemetry::count(telemetry::Counter::MagazineSpill);
         std::memmove(mag.ids, mag.ids + flush,
                      (HandleMagazine::capacity - flush) * sizeof(uint32_t));
         mag.count -= flush;
@@ -129,6 +135,7 @@ Runtime::halloc(size_t size)
     e.size = static_cast<uint32_t>(size);
     e.ptr.store(backing, std::memory_order_release);
     nHallocs_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::countHot(telemetry::Counter::Halloc);
     return reinterpret_cast<void *>(makeHandle(id, 0));
 }
 
@@ -214,6 +221,7 @@ Runtime::hfree(void *handle)
     service().free(id, reloc::unmarked(ptr));
     releaseHandleId(id);
     nHfrees_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::countHot(telemetry::Counter::Hfree);
 }
 
 size_t
@@ -387,6 +395,8 @@ Runtime::graceElapsed(GraceTicket &ticket)
 void
 Runtime::waitForGrace(uint64_t epoch)
 {
+    telemetry::count(telemetry::Counter::GraceWait);
+    telemetry::TraceSpan span("grace_wait");
     GraceTicket ticket = beginGrace(epoch);
     while (!graceElapsed(ticket))
         std::this_thread::sleep_for(std::chrono::microseconds(20));
@@ -470,6 +480,8 @@ Runtime::barrier(const std::function<void(const PinnedSet &)> &fn)
 {
     // Serialize whole barriers against each other.
     std::lock_guard<std::mutex> barrier_guard(barrierMutex_);
+    telemetry::TraceSpan span("barrier");
+    Stopwatch pause;
     gBarrierPending.store(true, std::memory_order_seq_cst);
 
     ThreadState *self = tlsState;
@@ -489,6 +501,8 @@ Runtime::barrier(const std::function<void(const PinnedSet &)> &fn)
     PinnedSet pinned = unifyPinSets();
     fn(pinned);
     nBarriers_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count(telemetry::Counter::Barrier);
+    telemetry::record(telemetry::Hist::BarrierPauseNs, pause.elapsedNs());
 
     gBarrierPending.store(false, std::memory_order_seq_cst);
     lock.unlock();
@@ -499,6 +513,7 @@ void *
 Runtime::handleFault(uint32_t id)
 {
     nFaults_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count(telemetry::Counter::HandleFault);
     return service().fault(id);
 }
 
@@ -512,6 +527,18 @@ Runtime::stats() const
     s.barriers = nBarriers_.load(std::memory_order_relaxed);
     s.faults = nFaults_.load(std::memory_order_relaxed);
     return s;
+}
+
+telemetry::Snapshot
+Runtime::telemetrySnapshot() const
+{
+    return telemetry::snapshot();
+}
+
+bool
+Runtime::dumpTrace(const char *path) const
+{
+    return telemetry::dumpTrace(path);
 }
 
 // --- service default --------------------------------------------------------

@@ -25,6 +25,7 @@
 #include "core/handle_table.h"
 #include "core/service.h"
 #include "core/thread_state.h"
+#include "telemetry/telemetry.h"
 
 namespace alaska
 {
@@ -395,6 +396,20 @@ class Runtime
 
     /** Runtime statistics snapshot. */
     RuntimeStats stats() const;
+
+    /**
+     * Aggregate of the process-wide telemetry counters and histograms
+     * (src/telemetry/). Safe to take from any thread while mutators,
+     * campaigns and barriers run; see docs/OBSERVABILITY.md.
+     */
+    telemetry::Snapshot telemetrySnapshot() const;
+
+    /**
+     * Export every buffered trace event (telemetry::enableTracing)
+     * as Chrome trace-event JSON, viewable at ui.perfetto.dev.
+     * @return false on I/O error.
+     */
+    bool dumpTrace(const char *path) const;
 
     /** Number of registered threads. */
     size_t threadCount() const;

@@ -10,6 +10,7 @@ translateChecked(const void *maybe_handle)
     if (static_cast<int64_t>(v) >= 0)
         return const_cast<void *>(maybe_handle);
     const uint32_t id = (v >> 32) & (maxHandleId - 1);
+    telemetry::countHot(telemetry::Counter::TranslateFast);
     const HandleTableEntry &e = Runtime::gTableBase[id];
     if (__builtin_expect(e.invalid(), 0)) {
         // Trap to the runtime; the service restores the object.

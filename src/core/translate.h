@@ -16,6 +16,7 @@
 #include "core/handle.h"
 #include "core/handle_table.h"
 #include "core/runtime.h"
+#include "telemetry/telemetry.h"
 
 namespace alaska
 {
@@ -27,6 +28,10 @@ namespace alaska
  * handle, the backing pointer is loaded from the handle table and the
  * offset applied. The caller is responsible for having pinned the handle
  * first (see pin.h) if the translation outlives the next safepoint.
+ *
+ * At ALASKA_TELEMETRY_LEVEL >= 2 every handle hit bumps the
+ * translate_fast counter; at the default level the body keeps the
+ * paper's two-instruction shape untouched.
  */
 inline void *
 translate(const void *maybe_handle)
@@ -34,6 +39,7 @@ translate(const void *maybe_handle)
     const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
     if (static_cast<int64_t>(v) >= 0)
         return const_cast<void *>(maybe_handle);
+    telemetry::countHot(telemetry::Counter::TranslateFast);
     const HandleTableEntry &e =
         Runtime::gTableBase[(v >> 32) & (maxHandleId - 1)];
     return static_cast<char *>(e.ptr.load(std::memory_order_relaxed)) +

@@ -87,6 +87,7 @@ ConcurrentAccessScope::ConcurrentAccessScope()
     if (tlsScopeDepth++ > 0)
         return;
     outermost_ = true;
+    telemetry::countHot(telemetry::Counter::ScopeOpen);
     Runtime *runtime = Runtime::gRuntime;
     state_ = runtime ? runtime->currentThreadStateOrNull() : nullptr;
     // Publish "in scope" (odd epoch) *before* sampling the campaign

@@ -159,6 +159,7 @@ class ConcurrentPin
         const uint64_t v = reinterpret_cast<uint64_t>(maybe_handle);
         if (!isHandle(v))
             return nullptr;
+        telemetry::count(telemetry::Counter::DerefPinned);
         HandleTableEntry *entry =
             &Runtime::gRuntime->table().entry(handleId(v));
         // seq_cst: the increment must be globally ordered against the
@@ -255,6 +256,7 @@ class ConcurrentAccessScope
 inline void *
 translateScoped(const void *maybe_handle)
 {
+    telemetry::countHot(telemetry::Counter::DerefScoped);
     if (__builtin_expect(!creloc_detail::tlsScopeMarkAware, 1))
         return translate(maybe_handle);
     // Campaign in flight: same shape as translate(), plus the mark

@@ -124,7 +124,7 @@ ConcurrentRelocDaemon::maxBarrierPauseSec() const
     return maxBarrierPauseSec_;
 }
 
-LatencyDigest
+telemetry::Histogram
 ConcurrentRelocDaemon::barrierPauses() const
 {
     std::lock_guard<std::mutex> guard(mutex_);
@@ -152,7 +152,7 @@ ConcurrentRelocDaemon::run()
             totalPauseSec_ = controller_.totalPauseSec();
             maxBarrierPauseSec_ = controller_.maxBarrierPauseSec();
             if (action.stats.barriers > 0)
-                barrierPauses_.add(static_cast<uint64_t>(
+                barrierPauses_.record(static_cast<uint64_t>(
                     action.stats.maxBarrierSec * 1e9));
         }
 

@@ -32,6 +32,7 @@
 #include "anchorage/control.h"
 #include "base/stats.h"
 #include "core/runtime.h"
+#include "telemetry/histogram.h"
 #include "sim/clock.h"
 
 namespace alaska
@@ -108,9 +109,11 @@ class ConcurrentRelocDaemon
      * where the two agree). In batched StopTheWorld mode a tick runs
      * exactly one barrier, so this is the exact per-barrier pause
      * distribution; a Hybrid fallback tick contributes its worst
-     * barrier. Snapshot copy; any thread.
+     * barrier. A bounded telemetry::Histogram (log2 buckets), not a
+     * LatencyDigest: the daemon is long-lived and must not accumulate
+     * one sample per tick forever. Snapshot copy; any thread.
      */
-    LatencyDigest barrierPauses() const;
+    telemetry::Histogram barrierPauses() const;
 
   private:
     void run();
@@ -142,7 +145,7 @@ class ConcurrentRelocDaemon
     double totalDefragSec_ = 0;
     double totalPauseSec_ = 0;
     double maxBarrierPauseSec_ = 0;
-    LatencyDigest barrierPauses_;
+    telemetry::Histogram barrierPauses_;
 };
 
 } // namespace alaska

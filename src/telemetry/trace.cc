@@ -1,0 +1,220 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace alaska::telemetry
+{
+
+namespace detail
+{
+std::atomic<bool> gTracingEnabled{false};
+} // namespace detail
+
+namespace
+{
+
+/** One buffered event. phase 'X' = complete span, 'i' = instant. */
+struct Event {
+    const char *name;
+    uint64_t beginNs;
+    uint64_t endNs; ///< == beginNs for instants
+    char phase;
+};
+
+/**
+ * One thread's ring. The owning thread appends; dumpTrace() copies
+ * under the same mutex (every trace point is on a cold path —
+ * campaigns, barriers, controller ticks — so an uncontended lock is
+ * cheap and keeps the TSAN lane clean). Rings are never freed: an
+ * exited thread's events stay dumpable, and the registry list only
+ * grows by live-thread count.
+ */
+struct TraceRing {
+    std::mutex mutex;
+    std::vector<Event> events; ///< grows to cap, then wraps
+    size_t cap = 0;            ///< fixed at creation
+    size_t head = 0;           ///< next slot once events is full
+    uint64_t dropped = 0;
+    uint32_t tid = 0;
+    TraceRing *next = nullptr;
+};
+
+struct TraceRegistry {
+    std::atomic<TraceRing *> rings{nullptr};
+    std::atomic<uint32_t> nextTid{1};
+    std::atomic<size_t> ringCapacity{8192};
+};
+
+TraceRegistry &
+traceRegistry()
+{
+    static TraceRegistry *r = new TraceRegistry(); // outlives TLS dtors
+    return *r;
+}
+
+thread_local constinit TraceRing *tlsRing
+    __attribute__((tls_model("local-exec"))) = nullptr;
+
+TraceRing &
+ringSlow()
+{
+    TraceRegistry &r = traceRegistry();
+    TraceRing *ring = new TraceRing();
+    ring->tid = r.nextTid.fetch_add(1, std::memory_order_relaxed);
+    ring->cap = r.ringCapacity.load(std::memory_order_relaxed);
+    ring->events.reserve(ring->cap);
+    TraceRing *head = r.rings.load(std::memory_order_relaxed);
+    do {
+        ring->next = head;
+    } while (!r.rings.compare_exchange_weak(head, ring,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed));
+    tlsRing = ring;
+    return *ring;
+}
+
+inline TraceRing &
+ring()
+{
+    TraceRing *r = tlsRing;
+    if (__builtin_expect(r == nullptr, 0))
+        return ringSlow();
+    return *r;
+}
+
+void
+push(TraceRing &r, const Event &ev)
+{
+    std::lock_guard<std::mutex> guard(r.mutex);
+    if (r.events.size() < r.cap) {
+        r.events.push_back(ev);
+        return;
+    }
+    if (r.cap == 0)
+        return;
+    r.events[r.head] = ev; // wrap: overwrite oldest
+    r.head = (r.head + 1) % r.events.size();
+    r.dropped++;
+}
+
+} // namespace
+
+uint64_t
+traceNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+enableTracing(size_t ringCapacity)
+{
+    TraceRegistry &r = traceRegistry();
+    r.ringCapacity.store(ringCapacity, std::memory_order_relaxed);
+    detail::gTracingEnabled.store(true, std::memory_order_relaxed);
+}
+
+void
+disableTracing()
+{
+    detail::gTracingEnabled.store(false, std::memory_order_relaxed);
+}
+
+void
+clearTrace()
+{
+    TraceRegistry &r = traceRegistry();
+    for (TraceRing *ring = r.rings.load(std::memory_order_acquire);
+         ring != nullptr; ring = ring->next) {
+        std::lock_guard<std::mutex> guard(ring->mutex);
+        ring->events.clear();
+        ring->head = 0;
+        ring->dropped = 0;
+    }
+}
+
+void
+traceComplete(const char *name, uint64_t beginNs, uint64_t endNs)
+{
+    if (!tracingEnabled())
+        return;
+    push(ring(), Event{name, beginNs, endNs, 'X'});
+}
+
+void
+traceInstant(const char *name)
+{
+    if (!tracingEnabled())
+        return;
+    uint64_t now = traceNowNs();
+    push(ring(), Event{name, now, now, 'i'});
+}
+
+bool
+dumpTrace(const char *path)
+{
+    struct Tagged {
+        Event ev;
+        uint32_t tid;
+    };
+    std::vector<Tagged> all;
+    uint64_t dropped = 0;
+    TraceRegistry &r = traceRegistry();
+    for (TraceRing *ring = r.rings.load(std::memory_order_acquire);
+         ring != nullptr; ring = ring->next) {
+        std::lock_guard<std::mutex> guard(ring->mutex);
+        for (const Event &ev : ring->events)
+            all.push_back(Tagged{ev, ring->tid});
+        dropped += ring->dropped;
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Tagged &a, const Tagged &b) {
+                  return a.ev.beginNs < b.ev.beginNs;
+              });
+
+    FILE *out = fopen(path, "w");
+    if (out == nullptr)
+        return false;
+    // Chrome trace-event format: ts/dur in microseconds. Timestamps
+    // are rebased to the earliest event so Perfetto's timeline starts
+    // near zero.
+    uint64_t base = all.empty() ? 0 : all.front().ev.beginNs;
+    fprintf(out, "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
+    bool first = true;
+    for (const Tagged &t : all) {
+        double ts = static_cast<double>(t.ev.beginNs - base) / 1e3;
+        if (t.ev.phase == 'X') {
+            double dur =
+                static_cast<double>(t.ev.endNs - t.ev.beginNs) / 1e3;
+            fprintf(out,
+                    "%s\n{\"name\": \"%s\", \"cat\": \"alaska\", "
+                    "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                    "\"pid\": 1, \"tid\": %" PRIu32 "}",
+                    first ? "" : ",", t.ev.name, ts, dur, t.tid);
+        } else {
+            fprintf(out,
+                    "%s\n{\"name\": \"%s\", \"cat\": \"alaska\", "
+                    "\"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, "
+                    "\"pid\": 1, \"tid\": %" PRIu32 "}",
+                    first ? "" : ",", t.ev.name, ts, t.tid);
+        }
+        first = false;
+    }
+    if (dropped > 0)
+        fprintf(out,
+                "%s\n{\"name\": \"dropped_events: %" PRIu64
+                "\", \"cat\": \"alaska\", \"ph\": \"i\", \"s\": \"g\", "
+                "\"ts\": 0, \"pid\": 1, \"tid\": 0}",
+                first ? "" : ",", dropped);
+    fprintf(out, "\n]}\n");
+    return fclose(out) == 0;
+}
+
+} // namespace alaska::telemetry

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Chrome-trace event tracer: per-thread fixed-capacity ring buffers
+ * of timestamped spans and instants, exported as Chrome trace-event
+ * JSON (load the file at https://ui.perfetto.dev). Disabled by
+ * default; when disabled a trace point costs one relaxed bool load.
+ * Event names must be string literals (the rings store the pointer).
+ * See docs/OBSERVABILITY.md for the event schema.
+ */
+
+#ifndef ALASKA_TELEMETRY_TRACE_H
+#define ALASKA_TELEMETRY_TRACE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace alaska::telemetry
+{
+
+namespace detail
+{
+extern std::atomic<bool> gTracingEnabled;
+} // namespace detail
+
+/** True between enableTracing() and disableTracing(). One relaxed
+ *  load; every trace point checks it first. */
+inline bool
+tracingEnabled()
+{
+    return detail::gTracingEnabled.load(std::memory_order_relaxed);
+}
+
+/** Nanoseconds on the tracer's steady clock (the timebase of every
+ *  event timestamp). */
+uint64_t traceNowNs();
+
+/**
+ * Start recording. ringCapacity is the per-thread event capacity;
+ * when a ring fills, the oldest events are overwritten and counted as
+ * dropped (reported on the trace's metadata thread). Idempotent;
+ * capacity applies to rings created after the call.
+ */
+void enableTracing(size_t ringCapacity = 8192);
+
+/** Stop recording. Already-buffered events stay dumpable. */
+void disableTracing();
+
+/** Drop all buffered events (rings stay allocated). */
+void clearTrace();
+
+/**
+ * Record a complete span [beginNs, endNs] on this thread's ring.
+ * name must be a string literal. No-op when tracing is disabled.
+ */
+void traceComplete(const char *name, uint64_t beginNs, uint64_t endNs);
+
+/** Record an instantaneous event at now. name must be a string
+ *  literal. No-op when tracing is disabled. */
+void traceInstant(const char *name);
+
+/**
+ * Write every buffered event (all threads, live and exited) as
+ * Chrome trace-event JSON to path, sorted by timestamp. Safe to call
+ * while other threads keep tracing — each ring is copied under its
+ * lock; events recorded during the dump may or may not appear.
+ * Returns false on I/O error.
+ */
+bool dumpTrace(const char *path);
+
+/**
+ * RAII span: samples the clock at construction and records a complete
+ * event at destruction. Arms only if tracing is enabled at
+ * construction, so a span crossing disableTracing() still lands in
+ * the ring. name must be a string literal.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name)
+        : name_(name), armed_(tracingEnabled()),
+          begin_(armed_ ? traceNowNs() : 0)
+    {
+    }
+
+    ~TraceSpan()
+    {
+        if (armed_)
+            traceComplete(name_, begin_, traceNowNs());
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    const char *name_;
+    bool armed_;
+    uint64_t begin_;
+};
+
+} // namespace alaska::telemetry
+
+#endif // ALASKA_TELEMETRY_TRACE_H
