@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "alloc_sim/alloc_model.h"
+#include "base/rng.h"
 #include "kv/cache_workload.h"
 #include "sim/clock.h"
 
@@ -34,6 +35,13 @@ struct FragTimeline
     double seconds = 10.0;
     double tickSec = 0.1;
     size_t totalInserts = 2000000;
+    /**
+     * Seed handed to every stochastic model the figure constructs
+     * (MeshModel's probe order, AnchorageConfig::meshSeed). One knob
+     * per experiment — not a hardcoded literal per call site — keeps
+     * the whole figure reproducible and re-seedable in one place.
+     */
+    uint64_t seed = Rng::defaultSeed;
 };
 
 /**

@@ -22,7 +22,12 @@
  * Concurrent run at shards=1 is always included as the pre-shard
  * baseline column), --records=N, --ops=N (single-thread section),
  * --mrecords=N --mops=N (per-thread, multi-thread section),
- * --single-only, --multi-only, --telemetry (print the runtime
+ * --single-only, --multi-only,
+ * --mode=stw|concurrent|hybrid|mesh|mesh-hybrid (run only the named
+ * defrag mode under the multi-thread load and report its RSS-recovery
+ * economics — resident bytes recovered, pages meshed, split faults,
+ * recovery per CPU-second and per pause-microsecond — instead of the
+ * default sections), --telemetry (print the runtime
  * telemetry snapshot after the run), --trace=FILE (record the defrag
  * pipeline's trace events and export Chrome trace-event JSON, viewable
  * at ui.perfetto.dev — see docs/OBSERVABILITY.md).
@@ -191,6 +196,14 @@ struct ModeResult
     /** Per-barrier pause tail of the batched passes (milliseconds). */
     double max_barrier_ms = 0;
     double p99_barrier_ms = 0;
+    /** Resident-set samples bracketing the run: right after the heap
+     *  is fragmented (the no-defrag level — RSS is monotone without
+     *  defrag), the in-run minimum, and the final reading. */
+    size_t rss_before = 0;
+    size_t rss_min = 0;
+    size_t rss_after = 0;
+    /** Total defrag work time the daemon charged (CPU seconds). */
+    double defrag_sec = 0;
     anchorage::DefragStats totals;
 };
 
@@ -245,6 +258,7 @@ runMode(anchorage::DefragMode mode, int threads, size_t shards,
         }
     }
     result.frag_before = service.fragmentation();
+    result.rss_before = service.rss();
 
     anchorage::ControlParams params;
     params.mode = mode;
@@ -315,11 +329,13 @@ runMode(anchorage::DefragMode mode, int threads, size_t shards,
     // is hit, so the minimum — not the final reading — shows whether
     // defrag crossed F_lb under load.
     result.frag_min = result.frag_before;
+    result.rss_min = result.rss_before;
     size_t samples = 0, samples_below = 0;
     while (running.load(std::memory_order_acquire) > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
         const double frag = service.fragmentation();
         result.frag_min = std::min(result.frag_min, frag);
+        result.rss_min = std::min(result.rss_min, service.rss());
         samples++;
         if (frag <= params.fLb)
             samples_below++;
@@ -334,6 +350,9 @@ runMode(anchorage::DefragMode mode, int threads, size_t shards,
     daemon.stop();
 
     result.frag_after = service.fragmentation();
+    result.rss_after = service.rss();
+    result.rss_min = std::min(result.rss_min, result.rss_after);
+    result.defrag_sec = daemon.totalDefragSec();
     result.barriers = runtime.stats().barriers;
     result.passes = daemon.passes();
     result.fallbacks = daemon.fallbacks();
@@ -390,6 +409,91 @@ reportMode(alaska::bench::JsonReport &report, const std::string &prefix,
                static_cast<double>(r.totals.graceWaits));
     report.add(prefix + ".grace_wait_ms", r.totals.graceWaitSec * 1e3,
                "ms");
+}
+
+/**
+ * The `--mode=` section: one named defrag mode under the multi-thread
+ * YCSB load, reported on the axes that distinguish the meshing modes —
+ * resident bytes recovered (not just extent), what that recovery cost
+ * in CPU seconds and in mutator pause time, and proof of the zero-copy
+ * zero-barrier claim (movedObjects, barriers).
+ */
+void
+runSingleModeSection(const char *mode_name, anchorage::DefragMode mode,
+                     int threads, size_t shards,
+                     uint64_t records_per_thread,
+                     uint64_t ops_per_thread,
+                     alaska::bench::JsonReport *report)
+{
+    std::printf("=== YCSB-A at %d mutator threads, background defrag "
+                "mode=%s (shards=%zu) ===\n\n",
+                threads, mode_name, shards);
+    const ModeResult r = runMode(mode, threads, shards,
+                                 records_per_thread, ops_per_thread);
+
+    auto row = [](const char *name, double v, const char *unit) {
+        std::printf("%-30s %14.2f %s\n", name, v, unit);
+    };
+    row("read p50", r.read_p50, "us");
+    row("read p99", r.read_p99, "us");
+    row("update p99", r.update_p99, "us");
+    row("throughput",
+        static_cast<double>(r.total_ops) / r.wall_sec / 1e6, "Mops");
+    row("virtual fragmentation start", r.frag_before, "");
+    row("virtual fragmentation end", r.frag_after, "");
+    row("rss after fragmenting",
+        static_cast<double>(r.rss_before) / 1e6, "MB");
+    row("rss minimum (in run)",
+        static_cast<double>(r.rss_min) / 1e6, "MB");
+    row("rss at end", static_cast<double>(r.rss_after) / 1e6, "MB");
+    // Resident bytes the mechanism returned to the kernel: extent the
+    // movers trimmed plus frames meshing released. Attributed at the
+    // mechanism, not inferred from RSS samples — the update phase
+    // allocates concurrently, so heap growth would mask recovery that
+    // is nonetheless real (end RSS sits recovered_mb below where a
+    // no-defrag run would land).
+    const double recovered_mb =
+        static_cast<double>(r.totals.reclaimedBytes +
+                            r.totals.bytesRecovered) / 1e6;
+    row("resident bytes recovered", recovered_mb, "MB");
+    std::printf("%-30s %14zu\n", "pages meshed",
+                static_cast<size_t>(r.totals.pagesMeshed));
+    std::printf("%-30s %14zu\n", "split faults",
+                static_cast<size_t>(r.totals.splitFaults));
+    std::printf("%-30s %14zu\n", "objects moved (copies)",
+                static_cast<size_t>(r.totals.movedObjects));
+    std::printf("%-30s %14zu\n", "campaign commits",
+                static_cast<size_t>(r.totals.committed));
+    std::printf("%-30s %14zu\n", "stop-the-world barriers",
+                static_cast<size_t>(r.barriers));
+    row("mutator pause time", r.pause_sec * 1e3, "ms");
+    row("defrag cpu time", r.defrag_sec * 1e3, "ms");
+    row("recovered per cpu-second",
+        r.defrag_sec > 0 ? recovered_mb / r.defrag_sec : 0.0,
+        "MB/s");
+    if (r.pause_sec > 0)
+        row("recovered per pause-us",
+            recovered_mb * 1e6 / (r.pause_sec * 1e6), "B/us");
+    else
+        std::printf("%-30s %14s\n", "recovered per pause-us",
+                    "inf (no pause)");
+
+    if (report != nullptr) {
+        std::string prefix = std::string("mode.") + mode_name;
+        reportMode(*report, prefix, r);
+        report->add(prefix + ".rss_before_mb",
+                    static_cast<double>(r.rss_before) / 1e6, "MB");
+        report->add(prefix + ".rss_min_mb",
+                    static_cast<double>(r.rss_min) / 1e6, "MB");
+        report->add(prefix + ".recovered_mb", recovered_mb, "MB");
+        report->add(prefix + ".pages_meshed",
+                    static_cast<double>(r.totals.pagesMeshed));
+        report->add(prefix + ".split_faults",
+                    static_cast<double>(r.totals.splitFaults));
+        report->add(prefix + ".moved_objects",
+                    static_cast<double>(r.totals.movedObjects));
+        report->add(prefix + ".defrag_sec", r.defrag_sec, "s");
+    }
 }
 
 void
@@ -539,6 +643,7 @@ main(int argc, char **argv)
     bool telemetry_dump = false;
     const char *trace_file = nullptr;
     const char *out_file = nullptr;
+    const char *mode_name = nullptr;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -569,6 +674,8 @@ main(int argc, char **argv)
             single_only = true;
         } else if (arg == "--multi-only") {
             multi_only = true;
+        } else if (value("--mode=") != nullptr) {
+            mode_name = argv[i] + std::strlen("--mode=");
         } else if (arg == "--telemetry") {
             telemetry_dump = true;
         } else if (value("--trace=") != nullptr) {
@@ -581,8 +688,9 @@ main(int argc, char **argv)
                          "usage: %s [--smoke] [--threads=N] "
                          "[--shards=N] [--records=N] [--ops=N] "
                          "[--mrecords=N] [--mops=N] [--single-only] "
-                         "[--multi-only] [--telemetry] [--trace=FILE] "
-                         "[--out=FILE]\n",
+                         "[--multi-only] [--mode=stw|concurrent|hybrid"
+                         "|mesh|mesh-hybrid] [--telemetry] "
+                         "[--trace=FILE] [--out=FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -593,10 +701,36 @@ main(int argc, char **argv)
 
     alaska::bench::JsonReport report;
     alaska::bench::JsonReport *rp = out_file ? &report : nullptr;
-    if (!multi_only)
-        runSingleThreadSection(records, ops, rp);
-    if (!single_only)
-        runMultiThreadSection(threads, shards, mrecords, mops, rp);
+    if (mode_name != nullptr) {
+        // Named-mode run: replaces both default sections (the default
+        // invocation's report shape — and so the committed baseline's
+        // checksum — is untouched by this path).
+        anchorage::DefragMode mode;
+        const std::string name = mode_name;
+        if (name == "stw")
+            mode = anchorage::DefragMode::StopTheWorld;
+        else if (name == "concurrent")
+            mode = anchorage::DefragMode::Concurrent;
+        else if (name == "hybrid")
+            mode = anchorage::DefragMode::Hybrid;
+        else if (name == "mesh")
+            mode = anchorage::DefragMode::Mesh;
+        else if (name == "mesh-hybrid")
+            mode = anchorage::DefragMode::MeshHybrid;
+        else {
+            std::fprintf(stderr,
+                         "--mode= must be one of stw, concurrent, "
+                         "hybrid, mesh, mesh-hybrid\n");
+            return 2;
+        }
+        runSingleModeSection(mode_name, mode, threads, shards,
+                             mrecords, mops, rp);
+    } else {
+        if (!multi_only)
+            runSingleThreadSection(records, ops, rp);
+        if (!single_only)
+            runMultiThreadSection(threads, shards, mrecords, mops, rp);
+    }
     if (telemetry_dump) {
         std::printf("\n");
         alaska::telemetry::writeText(alaska::telemetry::snapshot(),

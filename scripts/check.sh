@@ -9,19 +9,22 @@ cd "$(dirname "$0")/.."
 
 # TSAN mode (`scripts/check.sh --tsan`): build the concurrency suites
 # under ThreadSanitizer in a separate tree and run just them — the
-# three suites that drive the epoch-scope / pin-handshake /
-# grace-deferred-reclaim protocol end to end (the full suite under
-# TSAN is slow and mostly single-threaded). The intentional
-# mark-window copy race is whitelisted in base/speculative_copy.h;
-# anything else TSAN reports is a real protocol bug.
+# suites that drive the epoch-scope / pin-handshake /
+# grace-deferred-reclaim protocol and the mesh/split path end to end
+# (the full suite under TSAN is slow and mostly single-threaded). The
+# intentional mark-window copy race is whitelisted in
+# base/speculative_copy.h; anything else TSAN reports is a real
+# protocol bug.
 if [ "${1:-}" = "--tsan" ]; then
     cmake -B build-tsan -S . -DALASKA_TSAN=ON
     cmake --build build-tsan -j "$(nproc)" --target \
         concurrent_reloc_daemon_test --target \
         handle_shard_stress_test --target epoch_grace_test \
-        --target telemetry_test
+        --target telemetry_test --target mesh_runtime_test \
+        --target defrag_equivalence_test
     for t in concurrent_reloc_daemon_test handle_shard_stress_test \
-             epoch_grace_test telemetry_test; do
+             epoch_grace_test telemetry_test mesh_runtime_test \
+             defrag_equivalence_test; do
         ./build-tsan/"$t"
     done
     echo "tsan OK"
@@ -47,18 +50,24 @@ ctest --output-on-failure -j "$(nproc)"
 # smoke additionally asserts the batched-defrag invariant: no single
 # barrier of a batched pass moves more than its batch budget.
 ./handle_alloc_bench --out=bench_handle_alloc.json > /dev/null
+./translate_baseline_bench --out=bench_translate.json > /dev/null
 ./tab_ycsb_latency --smoke --shards=8 --telemetry \
     --trace=bench_trace.json --out=bench_ycsb.json > /dev/null
 ./tab_ycsb_latency --smoke --multi-only --shards=1 > /dev/null
+./tab_ycsb_latency --smoke --mode=mesh --telemetry \
+    --trace=mesh_trace.json > /dev/null
+./fig09_redis_defrag --smoke --out=bench_fig09.json > /dev/null
 ./fig12_memcached_pauses --smoke > /dev/null
 echo "bench smoke OK"
 
-# Trace gate: the telemetry-instrumented YCSB smoke must emit a
+# Trace gates: the telemetry-instrumented YCSB smoke must emit a
 # parseable Chrome trace with at least one campaign span and one
-# barrier span — proof the defrag pipeline's tracer stays wired (see
-# docs/OBSERVABILITY.md for the event schema).
+# barrier span, and the mesh-mode smoke at least one mesh span —
+# proof the defrag pipeline's tracer stays wired for every mechanism
+# (see docs/OBSERVABILITY.md for the event schema).
 if command -v python3 > /dev/null 2>&1; then
-    python3 ../scripts/check_trace.py bench_trace.json barrier
+    python3 ../scripts/check_trace.py bench_trace.json campaign barrier
+    python3 ../scripts/check_trace.py mesh_trace.json mesh
 else
     echo "check_trace skipped (no python3)"
 fi
@@ -71,6 +80,10 @@ if command -v python3 > /dev/null 2>&1; then
     python3 ../scripts/diff_bench.py ../BENCH_ycsb.json bench_ycsb.json
     python3 ../scripts/diff_bench.py ../BENCH_handle_alloc.json \
         bench_handle_alloc.json
+    python3 ../scripts/diff_bench.py ../BENCH_translate.json \
+        bench_translate.json
+    python3 ../scripts/diff_bench.py ../BENCH_fig09.json \
+        bench_fig09.json
 else
     echo "diff_bench skipped (no python3)"
 fi

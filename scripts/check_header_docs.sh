@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Docs gate: every top-level (public) class/struct declared in the
 # public headers under src/core/, src/api/, src/anchorage/,
-# src/services/, src/telemetry/ and src/base/ must carry a doc comment
+# src/services/, src/telemetry/, src/base/ and src/mesh/ must carry a
+# doc comment
 # (a /** ... */ block or /// line immediately above it). These are the
 # layers new code builds on: core is the raw contract, api the typed
 # surface, anchorage/services carry the locking and shard-affinity
@@ -15,7 +16,8 @@ cd "$(dirname "$0")/.."
 
 status=0
 for header in src/core/*.h src/api/*.h src/anchorage/*.h \
-              src/services/*.h src/telemetry/*.h src/base/*.h; do
+              src/services/*.h src/telemetry/*.h src/base/*.h \
+              src/mesh/*.h; do
     if ! awk -v file="$header" '
         /^[[:space:]]*$/ { next }
         /^(class|struct)[[:space:]]+[A-Za-z_]/ && $0 !~ /;[[:space:]]*$/ {

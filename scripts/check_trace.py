@@ -2,14 +2,16 @@
 """Validate a Chrome trace-event JSON produced by --trace / dumpTrace.
 
 Asserts the file parses as JSON, has the traceEvents array, and
-contains at least one `campaign` span — the smoke proof that the
-defrag pipeline's tracer is actually wired (a trace without a single
-campaign means the concurrent mode never ran or the tracer broke).
+contains at least one of each required span — the smoke proof that the
+defrag pipeline's tracer is actually wired (a trace without its
+mode's signature span means that mode never ran or the tracer broke).
 Prints a one-line event summary on success.
 
 Usage: check_trace.py trace.json [required_event ...]
-Extra arguments name additional events that must each appear at least
-once (default: only "campaign" is required).
+The arguments name the events that must each appear at least once and
+*replace* the default, so mode-specific gates (a Mesh-mode run has
+`mesh` spans but no `campaign`) can name exactly their own signature
+spans. With no arguments, "campaign" is required.
 """
 
 import collections
@@ -22,7 +24,7 @@ def main() -> int:
         print(__doc__, file=sys.stderr)
         return 2
     path = sys.argv[1]
-    required = set(sys.argv[2:]) | {"campaign"}
+    required = set(sys.argv[2:]) or {"campaign"}
 
     with open(path, "r", encoding="utf-8") as f:
         trace = json.load(f)

@@ -23,7 +23,7 @@ DefragController::tick()
         return {};
 
     if (state_ == State::Waiting) {
-        if (service_.fragmentation() > params_.fUb) {
+        if (controlFragmentation() > params_.fUb) {
             state_ = State::Defragmenting;
             return runPass();
         }
@@ -33,6 +33,20 @@ DefragController::tick()
 
     // Defragmenting state.
     return runPass();
+}
+
+double
+DefragController::controlFragmentation() const
+{
+    switch (params_.mode) {
+    case DefragMode::Mesh:
+        return service_.physicalFragmentation();
+    case DefragMode::MeshHybrid:
+        return std::max(service_.fragmentation(),
+                        service_.physicalFragmentation());
+    default:
+        return service_.fragmentation();
+    }
 }
 
 ControlAction
@@ -95,9 +109,24 @@ DefragController::runPass()
                           stwPass_->totals().reclaimedBytes == 0;
             stwPass_.reset();
         }
+    } else if (params_.mode == DefragMode::Mesh) {
+        // Pure meshing: one barrier-free pass per tick. pauseSec stays
+        // zero by construction — no handle entry changes, no barrier,
+        // and mutators keep the Direct discipline.
+        action.stats = service_.meshPass(params_.meshProbeBudget,
+                                         params_.meshMaxOccupancy);
+        action.costSec = chargeOf(action.stats);
+        no_progress = action.stats.pagesMeshed == 0;
     } else {
+        // MeshHybrid runs the cheap, barrier-free mechanism first;
+        // what meshing cannot reach (extent, sub-heap count) the
+        // campaign then compacts out of the same tick's budget.
+        if (params_.mode == DefragMode::MeshHybrid) {
+            action.stats = service_.meshPass(params_.meshProbeBudget,
+                                             params_.meshMaxOccupancy);
+        }
         const size_t pass_budget = passBudgetNow();
-        action.stats = service_.relocateCampaign(pass_budget);
+        action.stats.accumulate(service_.relocateCampaign(pass_budget));
         action.costSec = chargeOf(action.stats);
         // Abort-rate feedback (Hybrid): when accessors abort most of a
         // campaign, the hot remainder is cheaper to move inside short
@@ -126,7 +155,8 @@ DefragController::runPass()
             }
         }
         no_progress = action.stats.movedBytes == 0 &&
-                      action.stats.reclaimedBytes == 0;
+                      action.stats.reclaimedBytes == 0 &&
+                      action.stats.pagesMeshed == 0;
     }
 
     totalDefragSec_ += action.costSec;
@@ -144,7 +174,7 @@ DefragController::runPass()
         // many short ones.
         nextWake_ = now + std::max(action.costSec / params_.oUb,
                                    params_.minSleepSec);
-    } else if (service_.fragmentation() < params_.fLb || no_progress) {
+    } else if (controlFragmentation() < params_.fLb || no_progress) {
         // Goal reached or out of opportunities: observe efficiently.
         state_ = State::Waiting;
         nextWake_ = now + params_.pollInterval;

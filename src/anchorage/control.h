@@ -53,6 +53,26 @@ enum class DefragMode
      * campaign, a short stop-the-world pass finishes the hot remainder.
      */
     Hybrid,
+    /**
+     * Page meshing only (see AnchorageService::meshPass): sparse pages
+     * with disjoint live slots merge onto shared physical frames. RSS
+     * recovery with zero object copies, zero handle-table writes, and
+     * zero barriers — translation never changes, so mutators keep the
+     * Direct (stop-the-world) discipline and the paper's two-
+     * instruction translate. The trade: virtual extent (and therefore
+     * the paper's fragmentation metric) never shrinks, and a mesh can
+     * be split back out by later allocations, so control hysteresis
+     * runs on physicalFragmentation() instead.
+     */
+    Mesh,
+    /**
+     * Controller-selected combination: every pass meshes first (the
+     * cheap, barrier-free mechanism), then runs a concurrent campaign
+     * for the fragmentation meshing cannot reach (meshing never
+     * shrinks extent or moves objects into fewer sub-heaps). Requires
+     * the Scoped discipline, like Concurrent.
+     */
+    MeshHybrid,
 };
 
 /**
@@ -116,6 +136,19 @@ struct ControlParams
      * only lowers it) without busy-polling the clock.
      */
     double minSleepSec = 100e-6;
+    /**
+     * Mesh / MeshHybrid: random page pairs probed for slot
+     * disjointness per shard per pass. More probes find more of the
+     * meshable pairs per pass at linearly more scan time; the pass
+     * self-limits once the candidate pool thins. See docs/TUNING.md.
+     */
+    size_t meshProbeBudget = 128;
+    /**
+     * Mesh / MeshHybrid: only pages whose live 16-byte slots fill at
+     * most this fraction are meshing candidates (the disjointness
+     * threshold). Denser pages rarely pair and, meshed, split sooner.
+     */
+    double meshMaxOccupancy = 0.5;
 };
 
 /** What a controller tick did. Returned by value; no locking. */
@@ -208,6 +241,15 @@ class DefragController
 
   private:
     ControlAction runPass();
+
+    /**
+     * The fragmentation metric the hysteresis band watches: the
+     * paper's virtual extent/live ratio, except under Mesh (meshing
+     * never shrinks extent, so RSS/live is what it can and must
+     * drive) and MeshHybrid (the worse of the two metrics, since
+     * either mechanism may still have work).
+     */
+    double controlFragmentation() const;
 
     AnchorageService &service_;
     const Clock &clock_;

@@ -1,0 +1,173 @@
+#include "anchorage/mesh_directory.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace alaska::anchorage
+{
+
+void
+MeshDirectory::recordMesh(uint64_t loser_page, uint64_t root_page)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    ALASKA_ASSERT(loserToRoot_.count(loser_page) == 0 &&
+                      rootToLosers_.count(loser_page) == 0,
+                  "mesh of an already-meshed page");
+    ALASKA_ASSERT(loserToRoot_.count(root_page) == 0,
+                  "mesh onto a loser page");
+    pages_.alias(loser_page, root_page);
+    loserToRoot_[loser_page] = root_page;
+    rootToLosers_[root_page].push_back(loser_page);
+    active_.store(loserToRoot_.size(), std::memory_order_release);
+    meshes_++;
+    telemetry::count(telemetry::Counter::PageMesh);
+}
+
+void
+MeshDirectory::splitLocked(uint64_t loser_page)
+{
+    auto it = loserToRoot_.find(loser_page);
+    if (it == loserToRoot_.end())
+        return;
+    const uint64_t root = it->second;
+    pages_.unalias(loser_page);
+    loserToRoot_.erase(it);
+    auto root_it = rootToLosers_.find(root);
+    if (root_it != rootToLosers_.end()) {
+        auto &losers = root_it->second;
+        losers.erase(std::remove(losers.begin(), losers.end(),
+                                 loser_page),
+                     losers.end());
+        if (losers.empty())
+            rootToLosers_.erase(root_it);
+    }
+    active_.store(loserToRoot_.size(), std::memory_order_release);
+}
+
+size_t
+MeshDirectory::noteWrite(uint64_t addr, size_t len)
+{
+    if (active_.load(std::memory_order_acquire) == 0 || len == 0)
+        return 0;
+    const size_t page = pages_.pageSize();
+    const uint64_t first = addr / page * page;
+    const uint64_t last = (addr + len - 1) / page * page;
+    std::lock_guard<std::mutex> guard(mutex_);
+    // Collect first: splitting mutates both maps.
+    std::vector<uint64_t> to_split;
+    for (uint64_t p = first; p <= last; p += page) {
+        if (loserToRoot_.count(p) != 0) {
+            to_split.push_back(p);
+        } else if (auto it = rootToLosers_.find(p);
+                   it != rootToLosers_.end()) {
+            // A write on the root endangers every loser sharing its
+            // frame; the root keeps the frame, the losers split off.
+            to_split.insert(to_split.end(), it->second.begin(),
+                            it->second.end());
+        }
+    }
+    if (to_split.empty())
+        return 0;
+    telemetry::TraceSpan split_span("split");
+    for (uint64_t loser : to_split) {
+        splitLocked(loser);
+        splitFaults_++;
+        telemetry::count(telemetry::Counter::PageSplit);
+    }
+    return to_split.size();
+}
+
+size_t
+MeshDirectory::noteDiscard(uint64_t addr, size_t len)
+{
+    if (active_.load(std::memory_order_acquire) == 0 ||
+        len < pages_.pageSize())
+        return 0;
+    const size_t page = pages_.pageSize();
+    // Same rounding as PageModel::discard: only pages fully contained
+    // in the range lose their frame.
+    const uint64_t first = (addr + page - 1) / page * page;
+    const uint64_t end = (addr + len) / page * page;
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<uint64_t> to_split;
+    for (uint64_t p = first; p < end; p += page) {
+        if (loserToRoot_.count(p) != 0) {
+            to_split.push_back(p);
+        } else if (auto it = rootToLosers_.find(p);
+                   it != rootToLosers_.end()) {
+            to_split.insert(to_split.end(), it->second.begin(),
+                            it->second.end());
+        }
+    }
+    for (uint64_t loser : to_split) {
+        splitLocked(loser);
+        dissolves_++;
+        telemetry::count(telemetry::Counter::MeshDissolve);
+    }
+    return to_split.size();
+}
+
+bool
+MeshDirectory::meshable(uint64_t page_addr) const
+{
+    if (active_.load(std::memory_order_acquire) == 0)
+        return true;
+    std::lock_guard<std::mutex> guard(mutex_);
+    return loserToRoot_.count(page_addr) == 0 &&
+           rootToLosers_.count(page_addr) == 0;
+}
+
+bool
+MeshDirectory::meshed(uint64_t page_addr) const
+{
+    if (active_.load(std::memory_order_acquire) == 0)
+        return false;
+    std::lock_guard<std::mutex> guard(mutex_);
+    return loserToRoot_.count(page_addr) != 0;
+}
+
+bool
+MeshDirectory::isRoot(uint64_t page_addr) const
+{
+    if (active_.load(std::memory_order_acquire) == 0)
+        return false;
+    std::lock_guard<std::mutex> guard(mutex_);
+    return rootToLosers_.count(page_addr) != 0;
+}
+
+void
+MeshDirectory::dissolveAll()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (const auto &[loser, root] : loserToRoot_)
+        pages_.unalias(loser);
+    loserToRoot_.clear();
+    rootToLosers_.clear();
+    active_.store(0, std::memory_order_release);
+}
+
+uint64_t
+MeshDirectory::meshes() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return meshes_;
+}
+
+uint64_t
+MeshDirectory::splitFaults() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return splitFaults_;
+}
+
+uint64_t
+MeshDirectory::dissolves() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return dissolves_;
+}
+
+} // namespace alaska::anchorage

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Registry of active page meshes (paper §2.3 related work; Powers et
+ * al., PLDI 2019).
+ *
+ * A mesh merges two virtual pages whose live blocks occupy disjoint
+ * 16-byte slots onto one physical frame: the *loser* page is remapped
+ * (PageModel::alias) onto the *root* page's frame and its own frame is
+ * released — RSS drops by a page with zero object copies and no
+ * handle-table change. The directory remembers who is meshed onto
+ * whom so the runtime can undo a mesh the moment its disjointness
+ * argument stops holding:
+ *
+ *  - split-on-write (noteWrite): an *allocation* landing on a meshed
+ *    page may place a new live block in slots the partner page uses,
+ *    so the sub-heap alloc paths report every placement here first
+ *    and any mesh covering the written range is split — the loser
+ *    gets a private frame back (the model of the kernel's
+ *    copy-on-write fault). Plain stores to *existing* live blocks
+ *    need no hook: meshing only ever merged pages whose live slots
+ *    were disjoint, and that set only shrinks until the next
+ *    allocation.
+ *
+ *  - dissolve-on-discard (noteDiscard): a sub-heap trim returning a
+ *    page to the kernel would erase the shared frame under the
+ *    partner page, so trims report the range first and any mesh with
+ *    a member inside it is dissolved.
+ *
+ * Thread safety: all methods are safe to call concurrently (one
+ * internal mutex). The hot no-mesh case — every allocation in every
+ * non-meshing configuration — is a single relaxed atomic load.
+ * Callers hold their own shard lock when recording meshes; the
+ * directory itself never calls back into a sub-heap.
+ */
+
+#ifndef ALASKA_ANCHORAGE_MESH_DIRECTORY_H
+#define ALASKA_ANCHORAGE_MESH_DIRECTORY_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/page_model.h"
+
+namespace alaska::anchorage
+{
+
+/** Tracks loser→root page meshes and splits/dissolves them. */
+class MeshDirectory
+{
+  public:
+    explicit MeshDirectory(PageModel &pages) : pages_(pages) {}
+
+    MeshDirectory(const MeshDirectory &) = delete;
+    MeshDirectory &operator=(const MeshDirectory &) = delete;
+
+    /**
+     * Mesh loser_page onto root_page (both page-aligned): performs the
+     * PageModel::alias and records the pair. The caller must have
+     * checked disjointness and that loser is unmeshed and root is not
+     * a loser (meshable()); a root may accumulate several losers.
+     */
+    void recordMesh(uint64_t loser_page, uint64_t root_page);
+
+    /**
+     * An allocation is about to land on [addr, addr+len): split every
+     * mesh with a member page overlapping the range. Losers in the
+     * range get private frames back; a root in the range sheds all its
+     * losers (the root keeps the frame). @return meshes split.
+     */
+    size_t noteWrite(uint64_t addr, size_t len);
+
+    /**
+     * [addr, addr+len) is about to be discarded (sub-heap trim):
+     * dissolve every mesh whose member pages would lose their frame —
+     * same fully-contained page rounding as PageModel::discard.
+     * @return meshes dissolved.
+     */
+    size_t noteDiscard(uint64_t addr, size_t len);
+
+    /** True iff page may enter a new mesh as a loser (not already a
+     *  member of any mesh). Roots may only gain further losers. */
+    bool meshable(uint64_t page_addr) const;
+
+    /** True iff page is meshed away (is a loser). */
+    bool meshed(uint64_t page_addr) const;
+
+    /** True iff page is the root of at least one mesh. */
+    bool isRoot(uint64_t page_addr) const;
+
+    /** Split every mesh (teardown / tests). Losers become resident. */
+    void dissolveAll();
+
+    /** Currently meshed-away (loser) pages. */
+    size_t activeMeshes() const
+    {
+        return active_.load(std::memory_order_acquire);
+    }
+
+    /** Cumulative meshes recorded / split by writes / dissolved by
+     *  discards. */
+    uint64_t meshes() const;
+    uint64_t splitFaults() const;
+    uint64_t dissolves() const;
+
+  private:
+    /** Split one loser under mutex_: unalias + erase both maps. */
+    void splitLocked(uint64_t loser_page);
+
+    PageModel &pages_;
+    mutable std::mutex mutex_;
+    /** loser page addr -> root page addr. */
+    std::unordered_map<uint64_t, uint64_t> loserToRoot_;
+    /** root page addr -> its loser page addrs. */
+    std::unordered_map<uint64_t, std::vector<uint64_t>> rootToLosers_;
+    /** Mirrors loserToRoot_.size(); the lock-free empty check. */
+    std::atomic<size_t> active_{0};
+    uint64_t meshes_ = 0;
+    uint64_t splitFaults_ = 0;
+    uint64_t dissolves_ = 0;
+};
+
+} // namespace alaska::anchorage
+
+#endif // ALASKA_ANCHORAGE_MESH_DIRECTORY_H

@@ -30,6 +30,8 @@
 namespace alaska::anchorage
 {
 
+class MeshDirectory;
+
 /** Out-of-band metadata for one heap block. */
 struct Block
 {
@@ -186,12 +188,23 @@ class SubHeap
     /** Size class of a request (index into the free lists). */
     static int classOf(size_t size);
 
+    /**
+     * Attach the service's mesh directory (nullptr detaches). When
+     * set, every block placement (alloc/claim) reports its range via
+     * noteWrite() before touching pages — the split-on-write hook —
+     * and trims report reclaimed tails via noteDiscard() before
+     * returning them to the kernel. Costs one relaxed atomic load per
+     * placement while no meshes exist.
+     */
+    void setMeshDirectory(MeshDirectory *dir) { meshDir_ = dir; }
+
   private:
     SubHeapAlloc bumpAlloc(uint32_t id, size_t size);
     /** Drop stale indices from the front of a class list. */
     void pruneClassFront(int cls);
 
     AddressSpace &space_;
+    MeshDirectory *meshDir_ = nullptr;
     uint64_t base_ = 0;
     size_t capacity_ = 0;
     uint32_t ownerShard_ = 0;

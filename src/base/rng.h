@@ -20,7 +20,15 @@ namespace alaska
 class Rng
 {
   public:
-    explicit Rng(uint64_t seed = 0xa1a56a5eedULL) { reseed(seed); }
+    /**
+     * The repository-wide default seed. Every stochastic component
+     * that does not take an explicit seed (MeshModel, the service's
+     * mesh pass, the harness timelines) defaults to this one value, so
+     * "same binary, same flags" is always "same run".
+     */
+    static constexpr uint64_t defaultSeed = 0xa1a56a5eedULL;
+
+    explicit Rng(uint64_t seed = defaultSeed) { reseed(seed); }
 
     /** Re-initialize the state from a 64-bit seed via splitmix64. */
     void

@@ -44,7 +44,7 @@ class MeshModel : public AllocModel
     /** Largest size served from spans. */
     static constexpr size_t maxSmall = 2048;
 
-    explicit MeshModel(uint64_t seed = 0x4e54,
+    explicit MeshModel(uint64_t seed = Rng::defaultSeed,
                        AddressSpace *space = nullptr)
         : rng_(seed)
     {

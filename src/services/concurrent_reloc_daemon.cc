@@ -24,14 +24,19 @@ ConcurrentRelocDaemon::ConcurrentRelocDaemon(
     anchorage::ControlParams params)
     : runtime_(runtime), service_(service),
       controller_(service, clock_, params),
-      declaresConcurrentDefrag_(params.mode !=
-                                anchorage::DefragMode::StopTheWorld)
+      declaresConcurrentDefrag_(
+          params.mode != anchorage::DefragMode::StopTheWorld &&
+          params.mode != anchorage::DefragMode::Mesh)
 {
     // Campaigns are possible for this daemon's whole lifetime (Hybrid
     // falls back to STW but may resume campaigns), so the Scoped
     // translation discipline must be visible to mutators before the
     // first tick — declare here, not in start(), so constructing the
-    // daemon before spawning mutators is sufficient.
+    // daemon before spawning mutators is sufficient. Pure Mesh mode
+    // never runs campaigns — meshing changes no handle entries — so
+    // mutators keep the Direct discipline and its two-instruction
+    // translate (MeshHybrid runs campaigns and declares like
+    // Concurrent).
     if (declaresConcurrentDefrag_)
         Runtime::declareConcurrentDefrag();
 }

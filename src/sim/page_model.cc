@@ -6,11 +6,12 @@ namespace alaska
 uint64_t
 PageModel::frameOf(uint64_t vpage) const
 {
-    const AliasMap *aliases = aliases_.load(std::memory_order_acquire);
-    if (__builtin_expect(aliases == nullptr, 1))
+    if (__builtin_expect(
+            aliasCount_.load(std::memory_order_acquire) == 0, 1))
         return vpage;
-    auto it = aliases->find(vpage);
-    return it == aliases->end() ? vpage : it->second;
+    std::lock_guard<std::mutex> guard(aliasMutex_);
+    auto it = aliases_.find(vpage);
+    return it == aliases_.end() ? vpage : it->second;
 }
 
 void
@@ -47,24 +48,50 @@ PageModel::discard(uint64_t addr, size_t len)
 void
 PageModel::alias(uint64_t vpage_addr, uint64_t target_page_addr)
 {
-    std::lock_guard<std::mutex> write_guard(aliasWriteMutex_);
+    std::lock_guard<std::mutex> alias_guard(aliasMutex_);
     const uint64_t vpage = vpage_addr / pageSize_;
-    const uint64_t target = frameOf(target_page_addr / pageSize_);
-    // Release the frame previously backing vpage.
-    const uint64_t old_frame = frameOf(vpage);
+    // Resolve the target under the lock so chained aliases collapse to
+    // the root frame at insertion time.
+    auto target_it = aliases_.find(target_page_addr / pageSize_);
+    const uint64_t target = target_it == aliases_.end()
+                                ? target_page_addr / pageSize_
+                                : target_it->second;
+    auto vpage_it = aliases_.find(vpage);
+    const uint64_t old_frame =
+        vpage_it == aliases_.end() ? vpage : vpage_it->second;
+    if (old_frame == target)
+        return;
+    // Publish the mapping before releasing the old frame: a touch
+    // racing this call then lands on the shared frame (or, pre-publish,
+    // transiently re-inserts the frame we are about to erase — an
+    // overcount, never an undercount).
+    aliases_[vpage] = target;
+    aliasCount_.store(aliases_.size(), std::memory_order_release);
     {
         Stripe &stripe = stripeOf(old_frame);
         std::lock_guard<std::mutex> guard(stripe.mutex);
         stripe.resident.erase(old_frame);
     }
-    const AliasMap *current = aliases_.load(std::memory_order_relaxed);
-    auto next = current ? std::make_unique<AliasMap>(*current)
-                        : std::make_unique<AliasMap>();
-    (*next)[vpage] = target;
-    aliases_.store(next.get(), std::memory_order_release);
-    // alias() requires quiescence (no concurrent PageModel calls), so
-    // the superseded snapshot has no readers and dies here.
-    ownedAliasMap_ = std::move(next);
+}
+
+void
+PageModel::unalias(uint64_t vpage_addr)
+{
+    std::lock_guard<std::mutex> alias_guard(aliasMutex_);
+    const uint64_t vpage = vpage_addr / pageSize_;
+    if (aliases_.erase(vpage) == 0)
+        return;
+    aliasCount_.store(aliases_.size(), std::memory_order_release);
+    // The split fault's private copy is resident from birth.
+    Stripe &stripe = stripeOf(vpage);
+    std::lock_guard<std::mutex> guard(stripe.mutex);
+    stripe.resident.insert(vpage);
+}
+
+size_t
+PageModel::aliasedPages() const
+{
+    return aliasCount_.load(std::memory_order_acquire);
 }
 
 size_t
@@ -90,15 +117,13 @@ PageModel::isResident(uint64_t addr) const
 void
 PageModel::clear()
 {
-    std::lock_guard<std::mutex> write_guard(aliasWriteMutex_);
+    std::lock_guard<std::mutex> alias_guard(aliasMutex_);
     for (Stripe &stripe : stripes_) {
         std::lock_guard<std::mutex> guard(stripe.mutex);
         stripe.resident.clear();
     }
-    // clear() shares alias()'s quiescence requirement, so the map can
-    // be dropped outright; nullptr restores the no-aliases fast path.
-    aliases_.store(nullptr, std::memory_order_release);
-    ownedAliasMap_.reset();
+    aliases_.clear();
+    aliasCount_.store(0, std::memory_order_release);
 }
 
 } // namespace alaska

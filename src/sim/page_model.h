@@ -17,9 +17,14 @@
  * different heap regions rarely share a lock. This matters because the
  * sharded Anchorage service (anchorage/anchorage_service.h) drives
  * touches from every shard concurrently, and concurrent relocation
- * campaigns copy (and therefore touch) outside any heap lock. alias()
- * requires full quiescence (no concurrent PageModel call of any kind)
- * — Mesh, its only caller, runs single-threaded.
+ * campaigns copy (and therefore touch) outside any heap lock.
+ *
+ * alias()/unalias() are also safe to call concurrently with the other
+ * operations: the alias map lives behind its own mutex, and the
+ * no-alias fast path (the overwhelmingly common case — all modes
+ * except meshing) stays a single relaxed-atomic load. A touch racing
+ * an alias() may transiently keep the superseded frame resident; RSS
+ * can briefly overcount by a page but never undercounts.
  */
 
 #ifndef ALASKA_SIM_PAGE_MODEL_H
@@ -28,11 +33,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
-#include <vector>
 
 namespace alaska
 {
@@ -61,14 +64,31 @@ class PageModel
     /**
      * Mesh-style aliasing: virtual page vpage is remapped to the
      * physical frame backing target. vpage's own frame (if any) is
-     * freed; future touches of either virtual page land on the shared
-     * frame. Requires external quiescence: no concurrent PageModel
-     * call of any kind may be in flight (its only caller, the Mesh
-     * simulator, is single-threaded). That contract is what lets the
-     * superseded alias snapshot be freed immediately instead of
-     * retained forever.
+     * released; future touches of either virtual page land on the
+     * shared frame. Safe to call concurrently with touch/discard/
+     * queries (see the file comment for the transient-overcount
+     * caveat); callers that need a pass to observe a consistent block
+     * layout synchronize at a higher level (the mesh pass holds its
+     * shard lock).
      */
     void alias(uint64_t vpage_addr, uint64_t target_page_addr);
+
+    /**
+     * Undo an alias: vpage gets back a private frame (itself) and that
+     * frame becomes resident — the model of a copy-on-write split
+     * fault, where the kernel materializes a private copy of the
+     * shared frame on write. No-op if vpage is not aliased.
+     */
+    void unalias(uint64_t vpage_addr);
+
+    /** Number of virtual pages currently aliased onto another frame. */
+    size_t aliasedPages() const;
+
+    /** Physical frame address backing the page containing addr. */
+    uint64_t frameAddrOf(uint64_t addr) const
+    {
+        return frameOf(addr / pageSize_) * pageSize_;
+    }
 
     /** Resident bytes (distinct physical frames times page size). */
     size_t rss() const { return residentPages() * pageSize_; }
@@ -111,18 +131,17 @@ class PageModel
     mutable Stripe stripes_[numStripes];
 
     /**
-     * Virtual page -> physical frame, for aliased pages only.
-     * Published copy-on-write: frameOf() loads the current snapshot
-     * with one acquire load (nullptr, the common case, means "no
-     * aliases"), so the touch fast path takes no alias lock. alias()
-     * rebuilds and republishes under aliasWriteMutex_, freeing the
-     * superseded snapshot immediately — safe because alias() requires
-     * quiescence (see its comment), so no reader can hold the old
-     * pointer.
+     * Virtual page -> physical frame, for aliased pages only, guarded
+     * by aliasMutex_. aliasCount_ mirrors aliases_.size() so frameOf()
+     * can skip the lock entirely while no aliases exist — the touch
+     * fast path every non-meshing mode runs stays one atomic load.
+     * Lock order: aliasMutex_ before stripe mutexes; frameOf() drops
+     * aliasMutex_ before its caller takes a stripe lock, so the two
+     * never nest in the reverse direction.
      */
-    std::atomic<const AliasMap *> aliases_{nullptr};
-    std::mutex aliasWriteMutex_;
-    std::unique_ptr<const AliasMap> ownedAliasMap_;
+    std::atomic<size_t> aliasCount_{0};
+    mutable std::mutex aliasMutex_;
+    AliasMap aliases_;
 };
 
 } // namespace alaska

@@ -31,6 +31,9 @@ counterName(Counter c)
     case Counter::LimboRetire: return "limbo_retire";
     case Counter::LimboStall: return "limbo_stall";
     case Counter::Barrier: return "barrier";
+    case Counter::PageMesh: return "page_mesh";
+    case Counter::PageSplit: return "page_split";
+    case Counter::MeshDissolve: return "mesh_dissolve";
     case Counter::kCount: break;
     }
     return "unknown";
@@ -44,6 +47,7 @@ histName(Hist h)
     case Hist::CampaignCopyNs: return "campaign_copy_ns";
     case Hist::GraceAgeNs: return "grace_age_ns";
     case Hist::AllocMissDepth: return "alloc_miss_depth";
+    case Hist::MeshPassNs: return "mesh_pass_ns";
     case Hist::kCount: break;
     }
     return "unknown";

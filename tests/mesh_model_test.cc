@@ -155,4 +155,27 @@ TEST(MeshModel, MeshingIsDeterministicPerSeed)
     EXPECT_EQ(run(21).first % 4096, 0u);
 }
 
+TEST(MeshModel, DefaultSeedIsTheRepositoryDefault)
+{
+    // A default-constructed model must behave exactly like one seeded
+    // with Rng::defaultSeed — the probe order is a knob (plumbed from
+    // FragTimeline::seed in the benches), not a hidden literal.
+    auto run = [](MeshModel &&model) {
+        std::vector<uint64_t> tokens;
+        for (int i = 0; i < 64 * 100; i++)
+            tokens.push_back(model.alloc(32));
+        Rng rng(9);
+        for (auto &t : tokens) {
+            if (rng.chance(0.8)) {
+                model.free(t);
+                t = 0;
+            }
+        }
+        for (int pass = 0; pass < 10; pass++)
+            model.maintain();
+        return std::make_pair(model.rss(), model.meshCount());
+    };
+    EXPECT_EQ(run(MeshModel()), run(MeshModel(Rng::defaultSeed)));
+}
+
 } // namespace
