@@ -26,8 +26,14 @@
  * --mode=stw|concurrent|hybrid|mesh|mesh-hybrid (run only the named
  * defrag mode under the multi-thread load and report its RSS-recovery
  * economics — resident bytes recovered, pages meshed, split faults,
- * recovery per CPU-second and per pause-microsecond — instead of the
- * default sections), --telemetry (print the runtime
+ * recovery per CPU-second and per pause-microsecond, and per-mechanism
+ * attribution of all of it — instead of the default sections),
+ * --target-pause-us=N (run the StopTheWorld load twice with an
+ * oversized batchBytes cap — once with the adaptive barrier budget
+ * targeting an N-microsecond pause, once with the static bound — and
+ * report each run's per-barrier pause tail; the adaptive run should
+ * hold near the target while the fixed run overshoots),
+ * --telemetry (print the runtime
  * telemetry snapshot after the run), --trace=FILE (record the defrag
  * pipeline's trace events and export Chrome trace-event JSON, viewable
  * at ui.perfetto.dev — see docs/OBSERVABILITY.md).
@@ -39,6 +45,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -205,6 +212,13 @@ struct ModeResult
     /** Total defrag work time the daemon charged (CPU seconds). */
     double defrag_sec = 0;
     anchorage::DefragStats totals;
+    /** The same work attributed per mechanism (daemon totalsFor()):
+     *  a Hybrid run's campaign and its STW fallback land in separate
+     *  entries instead of folded into `totals`. */
+    anchorage::DefragStats by_mech[anchorage::kNumMechanisms];
+    /** Final per-barrier batch budget — the adapted value when
+     *  targetBarrierPauseSec is set, else the static batchBytes. */
+    size_t batch_bytes_final = 0;
 };
 
 /** Per-barrier move bound the harness runs with (ControlParams::batchBytes). */
@@ -219,7 +233,9 @@ constexpr size_t kBatchBytes = 256 << 10;
  */
 ModeResult
 runMode(anchorage::DefragMode mode, int threads, size_t shards,
-        uint64_t records_per_thread, uint64_t ops_per_thread)
+        uint64_t records_per_thread, uint64_t ops_per_thread,
+        const std::function<void(anchorage::ControlParams &)> &tweak =
+            nullptr)
 {
     using Store = MiniKv<AlaskaConcurrentAlloc>;
     ModeResult result;
@@ -279,6 +295,10 @@ runMode(anchorage::DefragMode mode, int threads, size_t shards,
     // kBatchBytes — the max/p99 per-barrier rows below show the
     // resulting pause bound.
     params.batchBytes = kBatchBytes;
+    // Section-specific overrides (e.g. the --target-pause-us section's
+    // oversized batch cap plus adaptive pause target) layer on last.
+    if (tweak)
+        tweak(params);
     ConcurrentRelocDaemon daemon(runtime, service, params);
     daemon.start();
 
@@ -360,6 +380,10 @@ runMode(anchorage::DefragMode mode, int threads, size_t shards,
     result.max_barrier_ms = daemon.maxBarrierPauseSec() * 1e3;
     result.p99_barrier_ms = daemon.barrierPauses().percentile(99) / 1e6;
     result.totals = daemon.totals();
+    for (size_t i = 0; i < anchorage::kNumMechanisms; i++)
+        result.by_mech[i] = daemon.totalsFor(
+            static_cast<anchorage::MechanismKind>(i));
+    result.batch_bytes_final = daemon.batchBytesCurrent();
 
     LatencyDigest all_reads, all_updates;
     for (int t = 0; t < threads; t++) {
@@ -478,9 +502,42 @@ runSingleModeSection(const char *mode_name, anchorage::DefragMode mode,
         std::printf("%-30s %14s\n", "recovered per pause-us",
                     "inf (no pause)");
 
+    // Per-mechanism attribution: what each mechanism — not the mode as
+    // a whole — moved and recovered. Under hybrid/mesh-hybrid this is
+    // the breakdown the folded totals above cannot show (e.g. how much
+    // of the recovery the STW fallback did vs the campaigns).
+    std::printf("\n%-12s %12s %13s %13s %12s %12s\n", "mechanism",
+                "moved objs", "recovered MB", "pages meshed", "commits",
+                "aborts");
+    for (size_t i = 0; i < anchorage::kNumMechanisms; i++) {
+        const anchorage::DefragStats &m = r.by_mech[i];
+        std::printf("%-12s %12zu %13.2f %13zu %12zu %12zu\n",
+                    anchorage::mechanismName(
+                        static_cast<anchorage::MechanismKind>(i)),
+                    static_cast<size_t>(m.movedObjects),
+                    static_cast<double>(m.reclaimedBytes +
+                                        m.bytesRecovered) / 1e6,
+                    static_cast<size_t>(m.pagesMeshed),
+                    static_cast<size_t>(m.committed),
+                    static_cast<size_t>(m.aborted));
+    }
+
     if (report != nullptr) {
         std::string prefix = std::string("mode.") + mode_name;
         reportMode(*report, prefix, r);
+        for (size_t i = 0; i < anchorage::kNumMechanisms; i++) {
+            const anchorage::DefragStats &m = r.by_mech[i];
+            const std::string mp =
+                prefix + "." +
+                anchorage::mechanismName(
+                    static_cast<anchorage::MechanismKind>(i));
+            report->add(mp + ".recovered_mb",
+                        static_cast<double>(m.reclaimedBytes +
+                                            m.bytesRecovered) / 1e6,
+                        "MB");
+            report->add(mp + ".moved_objects",
+                        static_cast<double>(m.movedObjects));
+        }
         report->add(prefix + ".rss_before_mb",
                     static_cast<double>(r.rss_before) / 1e6, "MB");
         report->add(prefix + ".rss_min_mb",
@@ -577,6 +634,28 @@ runMultiThreadSection(int threads, size_t shards,
                 static_cast<double>(stw.totals.reclaimedBytes) / 1e6,
                 static_cast<double>(conc.totals.reclaimedBytes) / 1e6,
                 static_cast<double>(conc1.totals.reclaimedBytes) / 1e6);
+    // Recovery attributed at the mechanism (daemon totalsFor()), not
+    // folded per mode: each column should put all its recovery in the
+    // one mechanism its policy composes — the attribution proves no
+    // hidden fallback did the work.
+    const auto mech_mb = [](const ModeResult &r,
+                            anchorage::MechanismKind kind) {
+        const anchorage::DefragStats &m =
+            r.by_mech[static_cast<size_t>(kind)];
+        return static_cast<double>(m.reclaimedBytes +
+                                   m.bytesRecovered) / 1e6;
+    };
+    for (const auto kind :
+         {anchorage::MechanismKind::Stw,
+          anchorage::MechanismKind::Campaign,
+          anchorage::MechanismKind::Mesh}) {
+        char label[40];
+        std::snprintf(label, sizeof label, "  recovered via %s",
+                      anchorage::mechanismName(kind));
+        std::printf("%-30s %11.1fMB  %11.1fMB  %11.1fMB\n", label,
+                    mech_mb(stw, kind), mech_mb(conc, kind),
+                    mech_mb(conc1, kind));
+    }
     std::printf("%-30s %8zu/%-5zu %8zu/%-5zu %8zu/%-5zu\n",
                 "campaign commits/aborts",
                 static_cast<size_t>(stw.totals.committed),
@@ -627,6 +706,112 @@ runMultiThreadSection(int threads, size_t shards,
                 anchorage::ControlParams{}.fLb, kBatchBytes >> 10);
 }
 
+/** Deliberately oversized per-barrier bound for the adaptive-barrier
+ *  section: a single barrier may move this much, far above any
+ *  sub-millisecond pause target, so a static bound overshoots. */
+constexpr size_t kOversizedBatchBytes = 8 << 20;
+
+/**
+ * The `--target-pause-us=N` section: the same StopTheWorld load twice,
+ * both runs capped at kOversizedBatchBytes per barrier. The fixed run
+ * uses that cap as its static bound — its barriers move as much as the
+ * budget allows and the pause tail lands wherever the copy rate puts
+ * it. The adaptive run sets ControlParams::targetBarrierPauseSec: the
+ * controller starts each barrier at batchBytesFloor, grows the budget
+ * only while pauses sit under half the target, and cuts it
+ * multiplicatively on overshoot — so its pause tail should hold near
+ * the target while the fixed run overshoots by orders of magnitude.
+ */
+void
+runTargetPauseSection(double target_us, int threads, size_t shards,
+                      uint64_t records_per_thread,
+                      uint64_t ops_per_thread,
+                      alaska::bench::JsonReport *report)
+{
+    std::printf("=== adaptive barrier budget vs fixed: YCSB-A at %d "
+                "threads, StopTheWorld, target pause %.0fus ===\n"
+                "=== both runs capped at batchBytes=%zu KiB; the "
+                "adaptive run may spend at most that per barrier ===\n\n",
+                threads, target_us, kOversizedBatchBytes >> 10);
+
+    const ModeResult adaptive = runMode(
+        anchorage::DefragMode::StopTheWorld, threads, shards,
+        records_per_thread, ops_per_thread,
+        [target_us](anchorage::ControlParams &params) {
+            params.batchBytes = kOversizedBatchBytes;
+            params.targetBarrierPauseSec = target_us * 1e-6;
+        });
+    const ModeResult fixed = runMode(
+        anchorage::DefragMode::StopTheWorld, threads, shards,
+        records_per_thread, ops_per_thread,
+        [](anchorage::ControlParams &params) {
+            params.batchBytes = kOversizedBatchBytes;
+        });
+
+    auto row = [](const char *name, double a, double b,
+                  const char *unit) {
+        std::printf("%-30s %12.2f%s %12.2f%s\n", name, a, unit, b,
+                    unit);
+    };
+    std::printf("%-30s %14s %14s\n", "metric", "adaptive", "fixed");
+    row("max per-barrier pause", adaptive.max_barrier_ms * 1e3,
+        fixed.max_barrier_ms * 1e3, "us");
+    row("p99 per-barrier pause", adaptive.p99_barrier_ms * 1e3,
+        fixed.p99_barrier_ms * 1e3, "us");
+    row("total mutator pause", adaptive.pause_sec * 1e3,
+        fixed.pause_sec * 1e3, "ms");
+    std::printf("%-30s %13zu  %13zu \n", "stop-the-world barriers",
+                static_cast<size_t>(adaptive.barriers),
+                static_cast<size_t>(fixed.barriers));
+    row("final batch budget",
+        static_cast<double>(adaptive.batch_bytes_final) / 1024.0,
+        static_cast<double>(fixed.batch_bytes_final) / 1024.0, "KiB");
+    row("bytes reclaimed",
+        static_cast<double>(adaptive.totals.reclaimedBytes) / 1e6,
+        static_cast<double>(fixed.totals.reclaimedBytes) / 1e6, "MB");
+    row("fragmentation at end", adaptive.frag_after, fixed.frag_after,
+        "  ");
+    row("read p99", adaptive.read_p99, fixed.read_p99, "us");
+
+    std::printf("\nThe adaptive run's max per-barrier pause should sit "
+                "near the %.0fus target (the controller\n"
+                "overshoots once, then multiplicatively cuts the batch "
+                "budget); the fixed run's first full\n"
+                "barrier moves up to %zu KiB in one stop and lands "
+                "wherever the copy rate puts it. Both\n"
+                "runs reclaim the same holes — the target trades "
+                "barrier count for pause bound, not recovery.\n",
+                target_us, kOversizedBatchBytes >> 10);
+
+    if (report != nullptr) {
+        report->add("pause.target_us", target_us, "us");
+        report->add("pause.adaptive_max_barrier_us",
+                    adaptive.max_barrier_ms * 1e3, "us");
+        report->add("pause.fixed_max_barrier_us",
+                    fixed.max_barrier_ms * 1e3, "us");
+        report->add("pause.adaptive_p99_barrier_us",
+                    adaptive.p99_barrier_ms * 1e3, "us");
+        report->add("pause.fixed_p99_barrier_us",
+                    fixed.p99_barrier_ms * 1e3, "us");
+        report->add("pause.adaptive_barriers",
+                    static_cast<double>(adaptive.barriers));
+        report->add("pause.fixed_barriers",
+                    static_cast<double>(fixed.barriers));
+        report->add("pause.adaptive_batch_final_kib",
+                    static_cast<double>(adaptive.batch_bytes_final) /
+                        1024.0,
+                    "KiB");
+        report->add("pause.adaptive_reclaimed_mb",
+                    static_cast<double>(
+                        adaptive.totals.reclaimedBytes) / 1e6,
+                    "MB");
+        report->add("pause.fixed_reclaimed_mb",
+                    static_cast<double>(fixed.totals.reclaimedBytes) /
+                        1e6,
+                    "MB");
+    }
+}
+
 } // namespace
 
 int
@@ -644,6 +829,7 @@ main(int argc, char **argv)
     const char *trace_file = nullptr;
     const char *out_file = nullptr;
     const char *mode_name = nullptr;
+    double target_pause_us = 0;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -676,6 +862,8 @@ main(int argc, char **argv)
             multi_only = true;
         } else if (value("--mode=") != nullptr) {
             mode_name = argv[i] + std::strlen("--mode=");
+        } else if (const char *v = value("--target-pause-us=")) {
+            target_pause_us = std::atof(v);
         } else if (arg == "--telemetry") {
             telemetry_dump = true;
         } else if (value("--trace=") != nullptr) {
@@ -689,8 +877,8 @@ main(int argc, char **argv)
                          "[--shards=N] [--records=N] [--ops=N] "
                          "[--mrecords=N] [--mops=N] [--single-only] "
                          "[--multi-only] [--mode=stw|concurrent|hybrid"
-                         "|mesh|mesh-hybrid] [--telemetry] "
-                         "[--trace=FILE] [--out=FILE]\n",
+                         "|mesh|mesh-hybrid] [--target-pause-us=N] "
+                         "[--telemetry] [--trace=FILE] [--out=FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -725,6 +913,12 @@ main(int argc, char **argv)
         }
         runSingleModeSection(mode_name, mode, threads, shards,
                              mrecords, mops, rp);
+    } else if (target_pause_us > 0) {
+        // Adaptive-barrier section: replaces the default sections, so
+        // the default invocation's report shape (and the committed
+        // baseline) stays untouched.
+        runTargetPauseSection(target_pause_us, threads, shards,
+                              mrecords, mops, rp);
     } else {
         if (!multi_only)
             runSingleThreadSection(records, ops, rp);

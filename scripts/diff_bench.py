@@ -11,7 +11,10 @@ checksum over the sorted metric names plus per-metric summaries
     can't happen silently.
   * numeric drift — a metric's median moved outside its noise band.
     Shared-host timings are jittery, so this only WARNS by default;
-    --strict promotes it to a failure for quiet machines.
+    --strict promotes it to a failure for quiet machines, and
+    --strict-metrics=GLOB[,GLOB...] promotes just the metrics matching
+    an fnmatch glob — use it to enforce the deterministic or low-CV
+    subset of a report while leaving wall-clock tails advisory.
 
 The noise band per metric is max(--band, k * cv) relative: a metric
 that recorded its own run-to-run spread (cv > 0) gets a band scaled to
@@ -22,10 +25,12 @@ medians, unitless) still get the flat band — many of them (barriers,
 abort counts) are workload-dependent, not deterministic.
 
 Usage: diff_bench.py BASELINE FRESH [--band=0.6] [--strict]
+       [--strict-metrics=GLOB[,GLOB...]]
 Exit: 0 ok (warnings allowed), 1 structural mismatch (or numeric drift
-with --strict), 2 usage/IO error.
+on a strict metric), 2 usage/IO error.
 """
 
+import fnmatch
 import json
 import sys
 
@@ -49,12 +54,17 @@ def load(path):
 def main(argv):
     band = 0.6
     strict = False
+    strict_globs = []
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--band="):
             band = float(arg[len("--band="):])
         elif arg == "--strict":
             strict = True
+        elif arg.startswith("--strict-metrics="):
+            strict_globs += [g for g in
+                             arg[len("--strict-metrics="):].split(",")
+                             if g]
         else:
             paths.append(arg)
     if len(paths) != 2:
@@ -80,6 +90,7 @@ def main(argv):
         return 1
 
     drifted = 0
+    failed = 0
     for name in sorted(base["metrics"]):
         b, f = base["metrics"][name], fresh["metrics"][name]
         bm, fm = b["median"], f["median"]
@@ -92,15 +103,18 @@ def main(argv):
         scale = max(abs(bm), abs(fm))
         if abs(fm - bm) > rel_band * scale:
             drifted += 1
-            print(f"{'FAIL' if strict else 'WARN'}: {name}: median "
+            enforce = strict or any(fnmatch.fnmatch(name, g)
+                                    for g in strict_globs)
+            failed += enforce
+            print(f"{'FAIL' if enforce else 'WARN'}: {name}: median "
                   f"{bm:g} -> {fm:g} (band +/-{rel_band * 100:.0f}%)")
     if drifted == 0:
         print(f"diff_bench: {fresh['bench']}: "
               f"{len(base['metrics'])} metrics within noise bands")
-    elif not strict:
+    elif not failed:
         print(f"diff_bench: {fresh['bench']}: {drifted} metric(s) "
               f"outside noise bands (warning only; --strict to fail)")
-    return 1 if (strict and drifted) else 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

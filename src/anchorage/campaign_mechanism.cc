@@ -1,0 +1,70 @@
+/**
+ * @file
+ * CampaignMechanism: concurrent relocation campaigns (paper §7's
+ * mark -> copy -> commit over the epoch/grace pipeline) as a
+ * DefragMechanism. One-shot per run(); never stops the world, so the
+ * report's pauseSec is zero by construction and mutators must hold
+ * the Scoped translation discipline while this mechanism may act.
+ */
+
+#include "anchorage/mechanism.h"
+
+#include "telemetry/telemetry.h"
+
+namespace alaska::anchorage
+{
+
+namespace
+{
+
+class CampaignMechanism final : public DefragMechanism
+{
+  public:
+    explicit CampaignMechanism(AnchorageService &service)
+        : service_(service)
+    {
+    }
+
+    MechanismKind
+    kind() const override
+    {
+        return MechanismKind::Campaign;
+    }
+
+    MechanismReport
+    run(const MechanismRequest &request) override
+    {
+        MechanismReport report;
+        report.kind = MechanismKind::Campaign;
+        report.stats = service_.relocateCampaign(request.budgetBytes);
+        report.costSec = request.useModeledTime
+                             ? report.stats.modeledSec
+                             : report.stats.measuredSec;
+        report.noProgress = report.stats.movedBytes == 0 &&
+                            report.stats.reclaimedBytes == 0;
+        if (report.stats.reclaimedBytes > 0)
+            telemetry::count(
+                telemetry::Counter::CampaignRecoveredBytes,
+                report.stats.reclaimedBytes);
+        return report;
+    }
+
+    bool
+    requiresScopedDiscipline() const override
+    {
+        return true;
+    }
+
+  private:
+    AnchorageService &service_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<DefragMechanism>
+makeCampaignMechanism(AnchorageService &service)
+{
+    return std::make_unique<CampaignMechanism>(service);
+}
+
+} // namespace alaska::anchorage

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
 namespace alaska::anchorage
@@ -10,7 +11,13 @@ namespace alaska::anchorage
 DefragController::DefragController(AnchorageService &service,
                                    const Clock &clock,
                                    ControlParams params)
-    : service_(service), clock_(clock), params_(params)
+    : service_(service), clock_(clock), params_(params),
+      view_{[this] { return service_.fragmentation(); },
+            [this] { return service_.physicalFragmentation(); },
+            [this] { return service_.heapExtent(); }},
+      policy_(makePolicy(params_, service_)),
+      adapter_(params_.targetBarrierPauseSec, params_.batchBytesFloor,
+               params_.batchBytes)
 {
     nextWake_ = clock_.now();
 }
@@ -38,144 +45,62 @@ DefragController::tick()
 double
 DefragController::controlFragmentation() const
 {
-    switch (params_.mode) {
-    case DefragMode::Mesh:
-        return service_.physicalFragmentation();
-    case DefragMode::MeshHybrid:
-        return std::max(service_.fragmentation(),
-                        service_.physicalFragmentation());
-    default:
-        return service_.fragmentation();
-    }
+    return policy_->controlMetric(view_);
 }
 
 ControlAction
 DefragController::runPass()
 {
     telemetry::TraceSpan tick_span("controller_tick");
+
+    TickResult result =
+        policy_->runTick(view_, params_, adapter_.current());
+
     ControlAction action;
-    action.defragged = true;
-
-    // alpha limits the fraction of the heap moved in one pass — the
-    // pass-wide budget in StopTheWorld mode (spread over batched
-    // barriers), a campaign budget otherwise. Computed lazily:
-    // heapExtent() sweeps every shard lock, and a mid-pass tick does
-    // not need it (the in-progress pass carries its own budget).
-    auto passBudgetNow = [&] {
-        const auto budget = static_cast<size_t>(
-            params_.alpha * static_cast<double>(service_.heapExtent()));
-        return budget > 0 ? budget : size_t{1};
-    };
-    const size_t batch =
-        params_.batchBytes > 0 ? params_.batchBytes : SIZE_MAX;
-    auto shardCapFor = [&](size_t total) {
-        if (params_.shardBudgetFraction >= 1.0)
-            return SIZE_MAX;
-        const auto cap = static_cast<size_t>(
-            params_.shardBudgetFraction * static_cast<double>(total));
-        return cap > 0 ? cap : size_t{1};
-    };
-
-    auto chargeOf = [&](const DefragStats &s) {
-        return params_.useModeledTime ? s.modeledSec : s.measuredSec;
-    };
-    auto barrierChargeOf = [&](const DefragStats &s) {
-        return params_.useModeledTime ? s.maxBarrierModeledSec
-                                      : s.maxBarrierSec;
-    };
-
-    // True once the tick's logical pass has reached its end state; a
-    // mid-pass tick stays in Defragmenting without consulting the
-    // hysteresis band (the pass finishes what it budgeted).
-    bool pass_done = true;
-    bool no_progress = false;
-
-    if (params_.mode == DefragMode::StopTheWorld) {
-        // One barrier of the (possibly in-progress) batched pass per
-        // tick: the overhead sleep below paces the barriers, so the
-        // pause spreading is real wall-clock spreading, not
-        // back-to-back barriers.
-        if (!stwPass_ || stwPass_->done()) {
-            const size_t pass_budget = passBudgetNow();
-            stwPass_.emplace(service_.beginBatchedDefrag(
-                pass_budget, shardCapFor(pass_budget)));
-        }
-        action.stats = stwPass_->step(batch);
-        action.pauseSec = chargeOf(action.stats);
-        action.costSec = action.pauseSec;
-        pass_done = stwPass_->done();
-        if (pass_done) {
-            no_progress = stwPass_->totals().movedBytes == 0 &&
-                          stwPass_->totals().reclaimedBytes == 0;
-            stwPass_.reset();
-        }
-    } else if (params_.mode == DefragMode::Mesh) {
-        // Pure meshing: one barrier-free pass per tick. pauseSec stays
-        // zero by construction — no handle entry changes, no barrier,
-        // and mutators keep the Direct discipline.
-        action.stats = service_.meshPass(params_.meshProbeBudget,
-                                         params_.meshMaxOccupancy);
-        action.costSec = chargeOf(action.stats);
-        no_progress = action.stats.pagesMeshed == 0;
-    } else {
-        // MeshHybrid runs the cheap, barrier-free mechanism first;
-        // what meshing cannot reach (extent, sub-heap count) the
-        // campaign then compacts out of the same tick's budget.
-        if (params_.mode == DefragMode::MeshHybrid) {
-            action.stats = service_.meshPass(params_.meshProbeBudget,
-                                             params_.meshMaxOccupancy);
-        }
-        const size_t pass_budget = passBudgetNow();
-        action.stats.accumulate(service_.relocateCampaign(pass_budget));
-        action.costSec = chargeOf(action.stats);
-        // Abort-rate feedback (Hybrid): when accessors abort most of a
-        // campaign, the hot remainder is cheaper to move inside short
-        // barriers than to retry concurrently forever. The fallback
-        // spends only what the campaign left of the pass budget — the
-        // campaign's moved bytes are deducted, so one Hybrid tick can
-        // never move more than alpha × extent in total.
-        if (params_.mode == DefragMode::Hybrid &&
-            action.stats.attempts >= params_.abortFallbackMinAttempts &&
-            action.stats.abortRate() > params_.abortFallbackRate) {
-            const size_t moved = action.stats.movedBytes;
-            const size_t remainder =
-                pass_budget > moved ? pass_budget - moved : 0;
-            if (remainder > 0) {
-                AnchorageService::BatchedPass fallback =
-                    service_.beginBatchedDefrag(remainder,
-                                                shardCapFor(remainder));
-                DefragStats stw;
-                while (!fallback.done())
-                    stw.accumulate(fallback.step(batch));
-                action.pauseSec = chargeOf(stw);
-                action.costSec += action.pauseSec;
-                action.stats.accumulate(stw);
-                action.fellBack = true;
-                fallbacks_++;
-            }
-        }
-        no_progress = action.stats.movedBytes == 0 &&
-                      action.stats.reclaimedBytes == 0 &&
-                      action.stats.pagesMeshed == 0;
+    action.fellBack = result.fellBack;
+    action.abandoned = result.abandoned;
+    action.defragged = !result.reports.empty();
+    for (const MechanismReport &report : result.reports) {
+        action.stats.accumulate(report.stats);
+        action.costSec += report.costSec;
+        action.pauseSec += report.pauseSec;
     }
+    action.byMechanism = std::move(result.reports);
 
     totalDefragSec_ += action.costSec;
     totalPauseSec_ += action.pauseSec;
-    passes_++;
+    if (action.defragged)
+        passes_++;
+    if (action.fellBack)
+        fallbacks_++;
+    if (action.abandoned)
+        abandonments_++;
     barriers_ += action.stats.barriers;
-    if (action.stats.barriers > 0)
-        maxBarrierPauseSec_ = std::max(maxBarrierPauseSec_,
-                                       barrierChargeOf(action.stats));
+    if (action.stats.barriers > 0) {
+        const double worst = params_.useModeledTime
+                                 ? action.stats.maxBarrierModeledSec
+                                 : action.stats.maxBarrierSec;
+        maxBarrierPauseSec_ = std::max(maxBarrierPauseSec_, worst);
+        // Pause-SLO feedback: the adapter steers the next barrier's
+        // byte bound from this tick's worst barrier in the charged
+        // time base (no-op unless targetBarrierPauseSec is set).
+        adapter_.observe(worst);
+    }
+    telemetry::setGauge(telemetry::Gauge::BatchBytesCurrent,
+                        adapter_.current());
 
     const double now = clock_.now();
-    if (!pass_done) {
+    if (!result.passDone) {
         // Mid-pass: the next tick runs the next barrier; the overhead
         // sleep between barriers is what turns one long pause into
         // many short ones.
         nextWake_ = now + std::max(action.costSec / params_.oUb,
                                    params_.minSleepSec);
-    } else if (controlFragmentation() < params_.fLb || no_progress) {
-        // Goal reached or out of opportunities: observe efficiently.
+    } else if (controlFragmentation() < params_.fLb ||
+               result.noProgress) {
+        // Goal reached or out of opportunities (an abandoned
+        // remainder lands here by construction — abandonment requires
+        // the metric below fLb): observe efficiently.
         state_ = State::Waiting;
         nextWake_ = now + params_.pollInterval;
     } else if (action.costSec > 0) {

@@ -26,19 +26,25 @@
 #define ALASKA_ANCHORAGE_CONTROL_H
 
 #include <cstddef>
-#include <optional>
+#include <memory>
+#include <vector>
 
 #include "anchorage/anchorage_service.h"
+#include "anchorage/mechanism.h"
+#include "anchorage/policy.h"
 #include "sim/clock.h"
 
 namespace alaska::anchorage
 {
 
 /**
- * How the controller reclaims fragmentation (paper §4.3 vs §7). Both
- * models steal across allocation shards: a pass or campaign ranks every
- * shard's sub-heaps by occupancy and evacuates sparse ones into denser
- * ones anywhere (see AnchorageService).
+ * Legacy shorthand for the common policies (paper §4.3 vs §7). Since
+ * the mechanism/policy split each value is just a constructor of the
+ * equivalent DefragPolicy (see policy.h's makePolicy): the enum
+ * survives for CLI/config compatibility, not as controller branches.
+ * Both models steal across allocation shards: a pass or campaign
+ * ranks every shard's sub-heaps by occupancy and evacuates sparse
+ * ones into denser ones anywhere (see AnchorageService).
  */
 enum class DefragMode
 {
@@ -149,6 +155,39 @@ struct ControlParams
      * threshold). Denser pages rarely pair and, meshed, split sooner.
      */
     double meshMaxOccupancy = 0.5;
+    /**
+     * Pause-SLO-adaptive barriers: when > 0, the per-barrier byte
+     * bound is no longer the static batchBytes but an online value
+     * steered toward this per-barrier pause target (seconds) from the
+     * measured pauses — multiplicative decrease on overshoot, slow
+     * additive recovery — clamped to [batchBytesFloor, batchBytes].
+     * 0 (default) keeps the static legacy bound. See
+     * BarrierBudgetAdapter (policy.h) and docs/TUNING.md.
+     */
+    double targetBarrierPauseSec = 0;
+    /**
+     * Smallest adaptive per-barrier bound. A floor keeps pathological
+     * pause measurements (page-cache hiccups, scheduler preemption)
+     * from collapsing barriers to single-object moves that can never
+     * finish a pass.
+     */
+    size_t batchBytesFloor = 4 << 10;
+    /**
+     * Mid-pass abandonment: when > 0 and a batched StopTheWorld pass
+     * is mid-flight, a tick that observes the control metric below
+     * fLb × this fraction abandons the pass remainder instead of
+     * running another barrier — mutator churn already met the goal.
+     * 1.0 abandons as soon as the metric re-enters the band floor;
+     * 0 (default) never abandons (the legacy behavior).
+     */
+    double midPassAbandonFraction = 0;
+    /**
+     * MeshHybrid pacing: the mesh stage runs only while physical
+     * fragmentation exceeds this floor, so a heap whose RSS is
+     * already tight stops paying mesh probe scans every tick.
+     * 0 (default) meshes every tick (the legacy behavior).
+     */
+    double meshPacingFloor = 0;
 };
 
 /** What a controller tick did. Returned by value; no locking. */
@@ -157,36 +196,54 @@ struct ControlAction
     /** True if a defrag pass ran on this tick. */
     bool defragged = false;
     /**
-     * Stats of the tick's work (campaign + fallback folded together).
-     * In batched StopTheWorld mode this is one barrier of the
-     * in-progress pass; stats.barriers / stats.maxBarrier* carry the
-     * honest per-barrier numbers when a tick ran more than one.
+     * One report per mechanism the policy invoked this tick, in
+     * execution order — the authoritative per-mechanism attribution
+     * (a Hybrid tick that fell back carries one campaign report and
+     * one stw report, each with its own stats and charges).
+     */
+    std::vector<MechanismReport> byMechanism;
+    /**
+     * The tick's stats folded across byMechanism, kept for callers
+     * that only need totals. In batched StopTheWorld mode this is one
+     * barrier of the in-progress pass; stats.barriers /
+     * stats.maxBarrier* carry the honest per-barrier numbers when a
+     * tick ran more than one.
      */
     DefragStats stats;
     /**
      * The mutator-visible stop-the-world time of this tick, summed
-     * over its barriers (model or measured). Zero for purely
-     * concurrent campaigns; the per-barrier max is in stats.
+     * over its barriers (model or measured). Zero for ticks whose
+     * mechanisms never stop the world; the per-barrier max is in
+     * stats, the per-mechanism split in byMechanism.
      */
     double pauseSec = 0;
     /**
-     * Total defrag work time charged against the overhead budget —
-     * equals pauseSec in StopTheWorld mode, campaign (+ fallback) time
-     * otherwise.
+     * Total defrag work time charged against the overhead budget:
+     * the sum of every mechanism report's costSec.
      */
     double costSec = 0;
-    /** True if a Hybrid tick fell back to a stop-the-world pass. */
+    /** True if an abort-rate fallback stage ran this tick. */
     bool fellBack = false;
+    /** True if the tick abandoned a mid-pass remainder instead of
+     *  running a barrier (ControlParams::midPassAbandonFraction). */
+    bool abandoned = false;
 };
 
 /**
- * The two-state hysteresis controller.
+ * The two-state hysteresis controller — since the mechanism/policy
+ * split a thin loop: it owns a DefragPolicy (built from params.mode by
+ * makePolicy), watches the policy's control metric against the
+ * [F_lb, F_ub] band, runs one policy tick per wake, and schedules the
+ * next wake from the tick's charged cost. Everything mode-shaped
+ * (which mechanisms run, in what order, on what share of the alpha
+ * budget) lives in the policy; the pause-SLO batch adaptation lives in
+ * the controller's BarrierBudgetAdapter.
  *
  * Threading contract: the controller itself is NOT thread-safe — drive
  * tick() from one thread at a time (a loop, or the concurrent-reloc
  * daemon's background thread). The heap work a tick triggers is safe
  * against concurrent mutators: the service's fragmentation metric and
- * both pass kinds do their own per-shard locking. The alpha budget is
+ * every mechanism do their own per-shard locking. The alpha budget is
  * computed from the whole (all-shard) extent, so one tick's work is
  * bounded regardless of how many shards it steals across.
  */
@@ -230,7 +287,7 @@ class DefragController
     /** Number of ticks that did defrag work (in batched StopTheWorld
      *  mode each such tick runs one barrier of a logical pass). */
     size_t passes() const { return passes_; }
-    /** Number of Hybrid ticks that fell back to a barrier. */
+    /** Number of ticks whose abort-rate fallback stage ran. */
     size_t fallbacks() const { return fallbacks_; }
     /** Stop-the-world barriers run so far (each bounded by
      *  batchBytes when batching is on). */
@@ -239,21 +296,35 @@ class DefragController
      *  measured, per useModeledTime). */
     double maxBarrierPauseSec() const { return maxBarrierPauseSec_; }
 
+    /** Number of ticks that abandoned a mid-pass remainder. */
+    size_t abandonments() const { return abandonments_; }
+
+    /**
+     * The per-barrier byte bound the next barrier will run under: the
+     * adaptive value when targetBarrierPauseSec is set, else the
+     * static batchBytes (SIZE_MAX when batching is off).
+     */
+    size_t batchBytesCurrent() const { return adapter_.current(); }
+
+    /** The policy this controller runs (built from params.mode). */
+    const DefragPolicy &policy() const { return *policy_; }
+
   private:
     ControlAction runPass();
 
-    /**
-     * The fragmentation metric the hysteresis band watches: the
-     * paper's virtual extent/live ratio, except under Mesh (meshing
-     * never shrinks extent, so RSS/live is what it can and must
-     * drive) and MeshHybrid (the worse of the two metrics, since
-     * either mechanism may still have work).
-     */
+    /** The policy's control metric (virtual, physical, or the worse
+     *  of the two) against the live heap. */
     double controlFragmentation() const;
 
     AnchorageService &service_;
     const Clock &clock_;
     ControlParams params_;
+    /** How the controller sees the heap; handed to the policy. */
+    PolicyView view_;
+    /** The tick strategy (owns its mechanisms). */
+    std::unique_ptr<DefragPolicy> policy_;
+    /** Online batchBytes steering toward targetBarrierPauseSec. */
+    BarrierBudgetAdapter adapter_;
     State state_ = State::Waiting;
     double nextWake_ = 0;
     double totalDefragSec_ = 0;
@@ -261,9 +332,8 @@ class DefragController
     size_t passes_ = 0;
     size_t fallbacks_ = 0;
     size_t barriers_ = 0;
+    size_t abandonments_ = 0;
     double maxBarrierPauseSec_ = 0;
-    /** In-progress batched StopTheWorld pass, resumed tick by tick. */
-    std::optional<AnchorageService::BatchedPass> stwPass_;
 };
 
 } // namespace alaska::anchorage

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * MeshMechanism: zero-copy page meshing as a DefragMechanism. One
+ * meshPass per run(): sparse pages with disjoint live slots merge
+ * onto shared physical frames — RSS recovery with zero object
+ * copies, zero handle-table writes, and zero barriers, so pauseSec
+ * stays zero and mutators keep the Direct translation discipline.
+ */
+
+#include "anchorage/mechanism.h"
+
+#include "telemetry/telemetry.h"
+
+namespace alaska::anchorage
+{
+
+namespace
+{
+
+class MeshMechanism final : public DefragMechanism
+{
+  public:
+    explicit MeshMechanism(AnchorageService &service)
+        : service_(service)
+    {
+    }
+
+    MechanismKind
+    kind() const override
+    {
+        return MechanismKind::Mesh;
+    }
+
+    MechanismReport
+    run(const MechanismRequest &request) override
+    {
+        MechanismReport report;
+        report.kind = MechanismKind::Mesh;
+        report.stats = service_.meshPass(request.meshProbeBudget,
+                                         request.meshMaxOccupancy);
+        report.costSec = request.useModeledTime
+                             ? report.stats.modeledSec
+                             : report.stats.measuredSec;
+        report.noProgress = report.stats.pagesMeshed == 0;
+        if (report.stats.bytesRecovered > 0)
+            telemetry::count(telemetry::Counter::MeshRecoveredBytes,
+                             report.stats.bytesRecovered);
+        return report;
+    }
+
+    bool
+    requiresScopedDiscipline() const override
+    {
+        return false;
+    }
+
+  private:
+    AnchorageService &service_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<DefragMechanism>
+makeMeshMechanism(AnchorageService &service)
+{
+    return std::make_unique<MeshMechanism>(service);
+}
+
+} // namespace alaska::anchorage

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * StwBatchedMechanism: batched stop-the-world compaction as a
+ * DefragMechanism. Wraps AnchorageService::beginBatchedDefrag/step;
+ * a logical pass survives across run() calls (one barrier each) so
+ * the policy's overhead sleep between ticks is what spreads the
+ * pause, exactly as the pre-split controller did.
+ */
+
+#include "anchorage/mechanism.h"
+
+#include <optional>
+
+#include "telemetry/telemetry.h"
+
+namespace alaska::anchorage
+{
+
+namespace
+{
+
+class StwBatchedMechanism final : public DefragMechanism
+{
+  public:
+    explicit StwBatchedMechanism(AnchorageService &service)
+        : service_(service)
+    {
+    }
+
+    MechanismKind
+    kind() const override
+    {
+        return MechanismKind::Stw;
+    }
+
+    MechanismReport
+    run(const MechanismRequest &request) override
+    {
+        if (!pass_ || pass_->done()) {
+            pass_.emplace(service_.beginBatchedDefrag(
+                request.budgetBytes, request.shardCapBytes));
+        }
+
+        MechanismReport report;
+        report.kind = MechanismKind::Stw;
+        if (request.runToCompletion) {
+            // Fallback remainders run every barrier back to back in
+            // one invocation (the policy decided the pause is worth
+            // finishing now).
+            while (!pass_->done())
+                report.stats.accumulate(pass_->step(request.batchBytes));
+        } else {
+            report.stats = pass_->step(request.batchBytes);
+        }
+
+        report.pauseSec = request.useModeledTime
+                              ? report.stats.modeledSec
+                              : report.stats.measuredSec;
+        report.costSec = report.pauseSec;
+        report.ranToCompletion = pass_->done();
+        if (report.ranToCompletion) {
+            report.noProgress = pass_->totals().movedBytes == 0 &&
+                                pass_->totals().reclaimedBytes == 0;
+            pass_.reset();
+        }
+        if (report.stats.reclaimedBytes > 0)
+            telemetry::count(telemetry::Counter::StwRecoveredBytes,
+                             report.stats.reclaimedBytes);
+        return report;
+    }
+
+    bool
+    midPass() const override
+    {
+        return pass_ && !pass_->done();
+    }
+
+    void
+    abandon() override
+    {
+        pass_.reset();
+    }
+
+    bool
+    requiresScopedDiscipline() const override
+    {
+        return false;
+    }
+
+  private:
+    AnchorageService &service_;
+    /** In-progress batched pass, resumed run() by run(). */
+    std::optional<AnchorageService::BatchedPass> pass_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<DefragMechanism>
+makeStwMechanism(AnchorageService &service)
+{
+    return std::make_unique<StwBatchedMechanism>(service);
+}
+
+} // namespace alaska::anchorage

@@ -25,18 +25,18 @@ ConcurrentRelocDaemon::ConcurrentRelocDaemon(
     : runtime_(runtime), service_(service),
       controller_(service, clock_, params),
       declaresConcurrentDefrag_(
-          params.mode != anchorage::DefragMode::StopTheWorld &&
-          params.mode != anchorage::DefragMode::Mesh)
+          controller_.policy().requiresScopedDiscipline())
 {
-    // Campaigns are possible for this daemon's whole lifetime (Hybrid
-    // falls back to STW but may resume campaigns), so the Scoped
-    // translation discipline must be visible to mutators before the
-    // first tick — declare here, not in start(), so constructing the
-    // daemon before spawning mutators is sufficient. Pure Mesh mode
-    // never runs campaigns — meshing changes no handle entries — so
-    // mutators keep the Direct discipline and its two-instruction
-    // translate (MeshHybrid runs campaigns and declares like
-    // Concurrent).
+    // The policy knows which mechanisms it may ever run, so it — not
+    // a mode switch — decides the translation discipline. Campaigns
+    // are possible for this daemon's whole lifetime (a fallback tick
+    // may resume campaigns later), so the Scoped discipline must be
+    // visible to mutators before the first tick — declare here, not
+    // in start(), so constructing the daemon before spawning mutators
+    // is sufficient. Policies without campaigns (pure StopTheWorld,
+    // pure Mesh) change no handle entries under running mutators, so
+    // their mutators keep the Direct discipline and its
+    // two-instruction translate.
     if (declaresConcurrentDefrag_)
         Runtime::declareConcurrentDefrag();
 }
@@ -87,6 +87,13 @@ ConcurrentRelocDaemon::totals() const
     return totals_;
 }
 
+anchorage::DefragStats
+ConcurrentRelocDaemon::totalsFor(anchorage::MechanismKind kind) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return mechTotals_[static_cast<size_t>(kind)];
+}
+
 size_t
 ConcurrentRelocDaemon::passes() const
 {
@@ -129,6 +136,13 @@ ConcurrentRelocDaemon::maxBarrierPauseSec() const
     return maxBarrierPauseSec_;
 }
 
+size_t
+ConcurrentRelocDaemon::batchBytesCurrent() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return batchBytesCurrent_;
+}
+
 telemetry::Histogram
 ConcurrentRelocDaemon::barrierPauses() const
 {
@@ -147,9 +161,17 @@ ConcurrentRelocDaemon::run()
     for (;;) {
         poll();
         const anchorage::ControlAction action = controller_.tick();
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            batchBytesCurrent_ = controller_.batchBytesCurrent();
+        }
         if (action.defragged) {
             std::lock_guard<std::mutex> guard(mutex_);
             totals_.accumulate(action.stats);
+            for (const anchorage::MechanismReport &report :
+                 action.byMechanism)
+                mechTotals_[static_cast<size_t>(report.kind)]
+                    .accumulate(report.stats);
             passes_ = controller_.passes();
             fallbacks_ = controller_.fallbacks();
             barriers_ = controller_.barriers();

@@ -12,10 +12,11 @@
  * window — mutators keep running, their scoped derefs pay no RMW and
  * never abort a move, and moved sources are reclaimed only after a
  * grace period (the limbo list) rather than readers being drained
- * up front or aborted via pins. In StopTheWorld
- * mode the same thread triggers classic barrier passes, and Hybrid
- * blends the two under abort-rate feedback, so one knob
- * (ControlParams::mode) selects the execution model.
+ * up front or aborted via pins. Which mechanisms actually run is the
+ * hosted DefragPolicy's decision (ControlParams::mode constructs it):
+ * the daemon itself is mechanism-agnostic — it declares the Scoped
+ * translation discipline iff the policy's mechanisms require it, and
+ * attributes every tick's stats per mechanism (totalsFor()).
  *
  * Between ticks the daemon parks in external mode, so barriers (its
  * own Hybrid fallbacks included) never wait on its sleep.
@@ -77,14 +78,21 @@ class ConcurrentRelocDaemon
     /** True between start() and stop(). Any thread. */
     bool running() const;
 
-    /** Folded stats of every action the daemon has run so far,
-     *  aggregated across all shards each action touched. Any thread. */
+    /** Stats of every action the daemon has run so far, folded over
+     *  all mechanisms and shards — use totalsFor() when the
+     *  per-mechanism attribution matters. Any thread. */
     anchorage::DefragStats totals() const;
+
+    /** Stats attributed to one mechanism: exactly what that
+     *  mechanism's invocations did, never folded with the others
+     *  (a Hybrid tick's campaign and its stop-the-world fallback
+     *  land in separate buckets). Any thread. */
+    anchorage::DefragStats totalsFor(anchorage::MechanismKind kind) const;
 
     /** Controller passes run so far. Any thread. */
     size_t passes() const;
 
-    /** Hybrid ticks that fell back to a stop-the-world pass. */
+    /** Ticks whose abort-rate fallback stage ran. */
     size_t fallbacks() const;
 
     /** Total defrag work time charged so far, seconds. */
@@ -101,6 +109,12 @@ class ConcurrentRelocDaemon
      *  time: measured wall seconds normally, modeled seconds under
      *  ControlParams::useModeledTime. Any thread. */
     double maxBarrierPauseSec() const;
+
+    /** The controller's current per-barrier batch budget in bytes —
+     *  the adaptive value when ControlParams::targetBarrierPauseSec
+     *  is set, else the static ControlParams::batchBytes bound.
+     *  Snapshot published per tick; any thread. */
+    size_t batchBytesCurrent() const;
 
     /**
      * Distribution of per-tick worst-barrier pauses, always in
@@ -125,9 +139,10 @@ class ConcurrentRelocDaemon
     anchorage::DefragController controller_;
 
     /**
-     * True when the configured mode permits campaigns: the constructor
-     * then declares the Scoped translation discipline
-     * (Runtime::declareConcurrentDefrag) until destruction.
+     * True when the controller's policy owns a mechanism that
+     * requires the Scoped discipline (concurrent campaigns): the
+     * constructor then declares it (Runtime::declareConcurrentDefrag)
+     * until destruction.
      */
     bool declaresConcurrentDefrag_ = false;
 
@@ -139,9 +154,12 @@ class ConcurrentRelocDaemon
 
     /** Snapshot counters, published by the daemon thread per tick. */
     anchorage::DefragStats totals_;
+    /** Per-mechanism attribution, indexed by MechanismKind. */
+    anchorage::DefragStats mechTotals_[anchorage::kNumMechanisms];
     size_t passes_ = 0;
     size_t fallbacks_ = 0;
     size_t barriers_ = 0;
+    size_t batchBytesCurrent_ = 0;
     double totalDefragSec_ = 0;
     double totalPauseSec_ = 0;
     double maxBarrierPauseSec_ = 0;

@@ -34,7 +34,21 @@ counterName(Counter c)
     case Counter::PageMesh: return "page_mesh";
     case Counter::PageSplit: return "page_split";
     case Counter::MeshDissolve: return "mesh_dissolve";
+    case Counter::StwRecoveredBytes: return "stw_recovered_bytes";
+    case Counter::CampaignRecoveredBytes:
+        return "campaign_recovered_bytes";
+    case Counter::MeshRecoveredBytes: return "mesh_recovered_bytes";
     case Counter::kCount: break;
+    }
+    return "unknown";
+}
+
+const char *
+gaugeName(Gauge g)
+{
+    switch (g) {
+    case Gauge::BatchBytesCurrent: return "batch_bytes_current";
+    case Gauge::kCount: break;
     }
     return "unknown";
 }
@@ -141,6 +155,8 @@ countersSlow()
     return *b;
 }
 
+std::atomic<uint64_t> gGauges[kNumGauges] = {};
+
 } // namespace detail
 
 namespace
@@ -170,6 +186,9 @@ snapshot()
     for (size_t i = 0; i < kNumCounters; i++)
         snap.counters[i] +=
             r.lateBlock.cells[i].load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kNumGauges; i++)
+        snap.gauges[i] =
+            detail::gGauges[i].load(std::memory_order_relaxed);
     for (size_t i = 0; i < kNumHists; i++)
         snap.hists[i] = gHists[i];
     return snap;
@@ -186,6 +205,8 @@ reset()
             b->cells[i].store(0, std::memory_order_relaxed);
     for (size_t i = 0; i < kNumCounters; i++)
         r.lateBlock.cells[i].store(0, std::memory_order_relaxed);
+    for (size_t i = 0; i < kNumGauges; i++)
+        detail::gGauges[i].store(0, std::memory_order_relaxed);
     for (size_t i = 0; i < kNumHists; i++)
         gHists[i].clear();
 }
@@ -200,6 +221,13 @@ writeText(const Snapshot &snap, FILE *out)
             continue;
         fprintf(out, "%-20s %12" PRIu64 "\n",
                 counterName(static_cast<Counter>(i)), snap.counters[i]);
+    }
+    fprintf(out, "# telemetry gauges (instantaneous)\n");
+    for (size_t i = 0; i < kNumGauges; i++) {
+        if (snap.gauges[i] == 0)
+            continue;
+        fprintf(out, "%-20s %12" PRIu64 "\n",
+                gaugeName(static_cast<Gauge>(i)), snap.gauges[i]);
     }
     fprintf(out, "# telemetry histograms\n");
     for (size_t i = 0; i < kNumHists; i++) {
@@ -226,6 +254,13 @@ writeJson(const Snapshot &snap, const char *path)
     for (size_t i = 0; i < kNumCounters; i++) {
         fprintf(out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",",
                 counterName(static_cast<Counter>(i)), snap.counters[i]);
+        first = false;
+    }
+    fprintf(out, "\n  },\n  \"gauges\": {");
+    first = true;
+    for (size_t i = 0; i < kNumGauges; i++) {
+        fprintf(out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",",
+                gaugeName(static_cast<Gauge>(i)), snap.gauges[i]);
         first = false;
     }
     fprintf(out, "\n  },\n  \"histograms\": {");

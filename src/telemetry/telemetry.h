@@ -70,6 +70,9 @@ enum class Counter : uint32_t {
     PageMesh,         ///< virtual pages meshed onto a shared frame
     PageSplit,        ///< meshes split by a write landing on a member page
     MeshDissolve,     ///< meshes dissolved because a member page was discarded
+    StwRecoveredBytes,      ///< bytes recovered by stop-the-world passes
+    CampaignRecoveredBytes, ///< bytes recovered by concurrent campaigns
+    MeshRecoveredBytes,     ///< bytes recovered by page meshing
     kCount
 };
 
@@ -96,6 +99,22 @@ constexpr size_t kNumHists = static_cast<size_t>(Hist::kCount);
 
 /** Stable snake_case name for a histogram (never nullptr). */
 const char *histName(Hist h);
+
+/**
+ * Well-known gauges: last-write-wins instantaneous values (unlike the
+ * cumulative counters). One relaxed store per set; a single global
+ * cell per gauge, so keep writers off the per-deref fast path. Keep
+ * in sync with gaugeName() in telemetry.cc and docs/OBSERVABILITY.md.
+ */
+enum class Gauge : uint32_t {
+    BatchBytesCurrent, ///< controller's current per-barrier byte bound
+    kCount
+};
+
+constexpr size_t kNumGauges = static_cast<size_t>(Gauge::kCount);
+
+/** Stable snake_case name for a gauge (never nullptr). */
+const char *gaugeName(Gauge g);
 
 namespace detail
 {
@@ -173,6 +192,28 @@ countHot(Counter c, uint64_t n = 1)
 /** The process-global histogram for h. Record with hist(h).record(v). */
 Histogram &hist(Hist h);
 
+namespace detail
+{
+/** The global gauge cells (one relaxed store/load each). */
+extern std::atomic<uint64_t> gGauges[kNumGauges];
+} // namespace detail
+
+/**
+ * Publish an instantaneous value for gauge g (last write wins). One
+ * relaxed store; compiled out below level 1.
+ */
+inline void
+setGauge(Gauge g, uint64_t v)
+{
+#if ALASKA_TELEMETRY_LEVEL >= 1
+    detail::gGauges[static_cast<size_t>(g)].store(
+        v, std::memory_order_relaxed);
+#else
+    (void)g;
+    (void)v;
+#endif
+}
+
 /**
  * Record v into histogram h. Compiled out below level 1; three
  * relaxed RMWs on shared (not per-thread) cache lines otherwise, so
@@ -197,12 +238,19 @@ record(Hist h, uint64_t v)
  */
 struct Snapshot {
     uint64_t counters[kNumCounters] = {};
+    uint64_t gauges[kNumGauges] = {};
     Histogram hists[kNumHists];
 
     uint64_t
     counter(Counter c) const
     {
         return counters[static_cast<size_t>(c)];
+    }
+
+    uint64_t
+    gauge(Gauge g) const
+    {
+        return gauges[static_cast<size_t>(g)];
     }
 
     const Histogram &
@@ -222,13 +270,13 @@ Snapshot snapshot();
  */
 void reset();
 
-/** Human-readable dump: one `name value` line per nonzero counter,
- *  then count/mean/p50/p99/max per nonzero histogram. */
+/** Human-readable dump: one `name value` line per nonzero counter and
+ *  gauge, then count/mean/p50/p99/max per nonzero histogram. */
 void writeText(const Snapshot &snap, FILE *out);
 
 /** Machine-readable dump of the same data as a single JSON object
- *  ({"counters": {...}, "histograms": {...}}). Returns false on I/O
- *  error. */
+ *  ({"counters": {...}, "gauges": {...}, "histograms": {...}}).
+ *  Returns false on I/O error. */
 bool writeJson(const Snapshot &snap, const char *path);
 
 } // namespace alaska::telemetry
