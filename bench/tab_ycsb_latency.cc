@@ -17,6 +17,17 @@
  *     update latency side by side, the abort/commit ratio, and the
  *     fragmentation recovered by each mode.
  *
+ *     CLOSED-LOOP CAVEAT: each mutator issues its next operation only
+ *     after the previous one returns, so a thread stalled behind a
+ *     stop-the-world barrier issues *nothing* during the pause — the
+ *     operations that would have queued up never exist, and the
+ *     percentiles here understate the pause's impact on an arrival
+ *     stream (coordinated omission). These numbers measure per-
+ *     operation service time under defrag, which is exactly what the
+ *     paper's table reports; for pause-honest tail latency under an
+ *     open-loop arrival process (intended-send timestamps, queueing
+ *     included), use bench/serve_bench.cc.
+ *
  * Flags: --smoke (tiny counts for CI), --threads=N, --shards=N
  * (Anchorage shard count for the multi-thread section, default 8; a
  * Concurrent run at shards=1 is always included as the pre-shard
@@ -562,7 +573,10 @@ runMultiThreadSection(int threads, size_t shards,
     std::printf("=== YCSB-A tail latency at %d mutator threads with "
                 "background defrag ===\n"
                 "=== StopTheWorld vs Concurrent at shards=%zu, plus "
-                "Concurrent at shards=1 (pre-shard baseline) ===\n\n",
+                "Concurrent at shards=1 (pre-shard baseline) ===\n"
+                "=== closed-loop: per-op service time; pauses do not "
+                "queue (no coordinated-omission correction — see "
+                "serve_bench for open-loop) ===\n\n",
                 threads, shards);
     const ModeResult stw = runMode(anchorage::DefragMode::StopTheWorld,
                                    threads, shards, records_per_thread,

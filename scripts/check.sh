@@ -21,10 +21,11 @@ if [ "${1:-}" = "--tsan" ]; then
         concurrent_reloc_daemon_test --target \
         handle_shard_stress_test --target epoch_grace_test \
         --target telemetry_test --target mesh_runtime_test \
-        --target defrag_equivalence_test --target policy_test
+        --target defrag_equivalence_test --target policy_test \
+        --target serve_test
     for t in concurrent_reloc_daemon_test handle_shard_stress_test \
              epoch_grace_test telemetry_test mesh_runtime_test \
-             defrag_equivalence_test policy_test; do
+             defrag_equivalence_test policy_test serve_test; do
         ./build-tsan/"$t"
     done
     echo "tsan OK"
@@ -76,6 +77,12 @@ ctest --output-on-failure -j "$(nproc)"
 ./fig09_redis_defrag --smoke --out=bench_fig09.json > /dev/null
 ./fig11_large_workload --smoke --out=bench_fig11.json > /dev/null
 ./fig12_memcached_pauses --smoke > /dev/null
+# Serving smoke: open-loop load over all five defrag modes plus the
+# adaptive-vs-fixed pause head-to-head. The binary asserts its own
+# invariants — zero lost responses in every mode, adaptive p999 inside
+# the noise envelope over fixed — and exits nonzero on violation.
+./serve_bench --smoke --trace=serve_trace.json \
+    --out=bench_serve.json > /dev/null
 echo "bench smoke OK"
 
 # Trace gates: the telemetry-instrumented YCSB smoke must emit a
@@ -89,6 +96,9 @@ if command -v python3 > /dev/null 2>&1; then
     python3 ../scripts/check_trace.py bench_trace.json campaign \
         barrier policy_decision
     python3 ../scripts/check_trace.py mesh_trace.json mesh
+    # The serving smoke must emit at least one request span — proof
+    # every served request is bracketed by the tracer.
+    python3 ../scripts/check_trace.py serve_trace.json request
 else
     echo "check_trace skipped (no python3)"
 fi
@@ -117,6 +127,13 @@ if command -v python3 > /dev/null 2>&1; then
         bench_fig09.json
     python3 ../scripts/diff_bench.py ../BENCH_fig11.json \
         bench_fig11.json --strict
+    #   * serve: the by-construction columns — every offered request
+    #     completes (lost == 0 exactly), and the load generator's
+    #     offered count is fixed by the deterministic schedule; the
+    #     latency percentiles stay advisory (wall-clock).
+    python3 ../scripts/diff_bench.py ../BENCH_serve.json \
+        bench_serve.json \
+        --strict-metrics='*.offered,*.completed,*.lost'
 else
     echo "diff_bench skipped (no python3)"
 fi

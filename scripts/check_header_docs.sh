@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # Docs gate: every top-level (public) class/struct declared in the
 # public headers under src/core/, src/api/, src/anchorage/,
-# src/services/, src/telemetry/, src/base/ and src/mesh/ must carry a
-# doc comment
+# src/services/, src/telemetry/, src/base/, src/mesh/ and src/serve/
+# must carry a doc comment
 # (a /** ... */ block or /// line immediately above it). These are the
 # layers new code builds on: core is the raw contract, api the typed
 # surface, anchorage/services carry the locking and shard-affinity
@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 status=0
 for header in src/core/*.h src/api/*.h src/anchorage/*.h \
               src/services/*.h src/telemetry/*.h src/base/*.h \
-              src/mesh/*.h; do
+              src/mesh/*.h src/serve/*.h; do
     if ! awk -v file="$header" '
         /^[[:space:]]*$/ { next }
         /^(class|struct)[[:space:]]+[A-Za-z_]/ && $0 !~ /;[[:space:]]*$/ {

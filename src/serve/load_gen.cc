@@ -1,0 +1,95 @@
+#include "serve/load_gen.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace alaska::serve
+{
+
+namespace
+{
+
+/** Map a YCSB op onto the server's op set (Update and Insert are both
+ *  an unconditional Set; F's read-modify-write keeps its two-phase
+ *  shape). */
+OpKind
+opKindFor(ycsb::OpType op)
+{
+    switch (op) {
+    case ycsb::OpType::Read: return OpKind::Get;
+    case ycsb::OpType::Update: return OpKind::Set;
+    case ycsb::OpType::Insert: return OpKind::Set;
+    case ycsb::OpType::ReadModifyWrite: return OpKind::Rmw;
+    }
+    return OpKind::Get;
+}
+
+/**
+ * Sleep until the intended send time. Coarse sleep_for until ~150 us
+ * out, then spin on the clock — sleep_for alone overshoots by a
+ * scheduler quantum, which at 20 kreq/s would smear every
+ * inter-arrival gap.
+ */
+void
+waitUntilNs(uint64_t deadline)
+{
+    constexpr uint64_t kSpinWindowNs = 150 * 1000;
+    uint64_t now = nowNs();
+    if (now + kSpinWindowNs < deadline)
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(deadline - now - kSpinWindowNs));
+    while (nowNs() < deadline) {
+        // spin
+    }
+}
+
+} // namespace
+
+LoadGen::LoadGen(Server &server, LoadGenConfig config)
+    : server_(server), config_(config),
+      workload_(config.kind, config.records, config.seed,
+                server.valueFor(0).size()),
+      arrivalRng_(config.seed * 0x9e3779b97f4a7c15ULL + 0x5e47e)
+{
+}
+
+void
+LoadGen::run()
+{
+    const double rate =
+        config_.ratePerSec > 0 ? config_.ratePerSec : 1.0;
+    const double meanGapNs = 1e9 / rate;
+    // Small startup slack so the first few arrivals are not already
+    // late before the loop spins up.
+    uint64_t intendedNs = nowNs() + 2 * 1000 * 1000;
+    for (uint64_t i = 0; i < config_.totalOps; i++) {
+        waitUntilNs(intendedNs);
+        const ycsb::Request mix = workload_.next();
+        Request request;
+        request.id = i;
+        request.op = opKindFor(mix.op);
+        request.key =
+            config_.keyMap ? config_.keyMap(mix.key) : mix.key;
+        request.intendedNs = intendedNs;
+        if (!server_.submit(request))
+            break; // server stopping; the schedule ends here
+        offered_++;
+        const uint64_t now = nowNs();
+        if (now > intendedNs && now - intendedNs > maxLagNs_)
+            maxLagNs_ = now - intendedNs;
+        // Advance the schedule from the *intended* time, never from
+        // now: falling behind must not stretch later arrivals, or the
+        // loop closes and coordinated omission sneaks back in.
+        double gapNs = meanGapNs;
+        if (config_.poisson) {
+            double u = arrivalRng_.real();
+            if (u > 0.999999999)
+                u = 0.999999999;
+            gapNs = -std::log(1.0 - u) * meanGapNs;
+        }
+        intendedNs += static_cast<uint64_t>(gapNs);
+    }
+}
+
+} // namespace alaska::serve

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Open-loop load generator for serve::Server.
+ *
+ * The generator precomputes an arrival schedule — Poisson (exponential
+ * inter-arrivals) or fixed-rate — and stamps every request with its
+ * *intended* arrival time before sending. When the server (or a defrag
+ * pause behind it) falls behind, the generator does not slow down: it
+ * keeps sending, immediately, with the original intended stamps. That
+ * is the open-loop discipline that defeats coordinated omission — a
+ * closed-loop driver (like bench/tab_ycsb_latency's mutator threads)
+ * silently stops issuing requests while it is stuck behind a pause, so
+ * the requests that *would have* queued during the pause never exist
+ * and the pause vanishes from the latency distribution. Here they do
+ * exist, their latency runs from intendedNs, and a 5 ms barrier shows
+ * up as a 5 ms+ queueing spike at p999.
+ *
+ * Request mixes come from src/ycsb (zipfian A/B/C/F); an optional
+ * keyMap lets the harness confine traffic to a key subset (e.g. odd
+ * record ids, so even ids stay read-only for post-run verification).
+ */
+
+#ifndef ALASKA_SERVE_LOAD_GEN_H
+#define ALASKA_SERVE_LOAD_GEN_H
+
+#include <cstdint>
+#include <functional>
+
+#include "serve/server.h"
+#include "ycsb/ycsb.h"
+
+namespace alaska::serve
+{
+
+/** Load-generator tuning. */
+struct LoadGenConfig
+{
+    /** Offered load in requests/second. Must be > 0. */
+    double ratePerSec = 10000;
+    /** Poisson (exponential inter-arrival) vs fixed-interval. */
+    bool poisson = true;
+    /** Requests to offer in total. */
+    uint64_t totalOps = 100000;
+    /** YCSB mix driving op types and zipfian key popularity. */
+    ycsb::WorkloadKind kind = ycsb::WorkloadKind::A;
+    /** Keyspace size the mix draws record ids from. */
+    uint64_t records = 100000;
+    /** Deterministic schedule/mix seed. */
+    uint64_t seed = 7;
+    /** Optional record-id remap applied to every generated id (e.g.
+     *  id -> 2*id+1 to confine traffic to odd records). Identity when
+     *  unset. */
+    std::function<uint64_t(uint64_t)> keyMap;
+};
+
+/**
+ * Drives a Server open-loop from the calling thread.
+ *
+ * run() is blocking and single-threaded: one generator thread is the
+ * right model for an arrival *process* (the server's workers provide
+ * the concurrency). The generator thread should NOT be a registered
+ * Alaska thread — it only calls Server::submit(), which tolerates
+ * either, but an unregistered sender can never delay a barrier, so the
+ * measured pauses stay attributable to the serving threads alone.
+ */
+class LoadGen
+{
+  public:
+    LoadGen(Server &server, LoadGenConfig config);
+
+    /**
+     * Send the whole schedule. Returns when every request has been
+     * submitted (not necessarily completed — pair with Server::stop()
+     * to drain) or when submit() reports the server is stopping.
+     */
+    void run();
+
+    /** Requests actually accepted by the server. */
+    uint64_t offered() const { return offered_; }
+
+    /** Worst (send − intended) lag over the run, ns: how far behind
+     *  schedule the generator itself fell. An open-loop run is honest
+     *  as long as this stays well below the latencies it reports. */
+    uint64_t maxLagNs() const { return maxLagNs_; }
+
+  private:
+    Server &server_;
+    LoadGenConfig config_;
+    ycsb::Workload workload_;
+    Rng arrivalRng_;
+    uint64_t offered_ = 0;
+    uint64_t maxLagNs_ = 0;
+};
+
+} // namespace alaska::serve
+
+#endif // ALASKA_SERVE_LOAD_GEN_H

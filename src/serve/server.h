@@ -1,0 +1,254 @@
+/**
+ * @file
+ * The serving front end: a bench-grade, simulated-connection KV server
+ * over Alaska + Anchorage.
+ *
+ * N worker threads — each a registered Alaska thread that brackets
+ * every request in an access_scope — pull from bounded per-worker
+ * request queues with work stealing. The keyspace is sharded across
+ * the workers (one MiniKv store per worker, all over the one shared
+ * Anchorage heap), so a request normally executes on the worker that
+ * owns its shard; a stolen request takes the owning shard's store lock
+ * instead. Submission exerts backpressure: submit() blocks while the
+ * target queue is full, so under overload the queueing delay shows up
+ * in request latency (measured from the *intended* arrival time — see
+ * load_gen.h) instead of requests being dropped. No request is ever
+ * lost or executed twice; stop() drains everything in flight before
+ * joining the workers.
+ *
+ * This is the subsystem the defrag pipeline is judged against: run a
+ * ConcurrentRelocDaemon over the same heap and the per-request
+ * latencies expose every barrier pause — amplified by queueing — while
+ * the epoch/grace machinery (docs/ARCHITECTURE.md) keeps the workers'
+ * scoped translations safe against live campaigns.
+ */
+
+#ifndef ALASKA_SERVE_SERVER_H
+#define ALASKA_SERVE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.h"
+#include "kv/alloc_policy.h"
+#include "kv/minikv.h"
+#include "ycsb/ycsb.h"
+
+namespace alaska::serve
+{
+
+/** Nanoseconds on the serving layer's steady clock — the shared
+ *  timebase of Request::intendedNs and completion stamps. */
+inline uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Request kinds the server executes (the YCSB op set: F's
+ *  read-modify-write is Rmw; Update and Insert are both Set). */
+enum class OpKind : uint8_t
+{
+    Get,
+    Set,
+    Rmw,
+};
+
+/** Stable lowercase name for an op kind (never nullptr). */
+const char *opName(OpKind op);
+
+/**
+ * One request. `key` is a YCSB record id (the worker derives the
+ * store key via ycsb::Workload::keyFor). `intendedNs` is the moment
+ * the open-loop schedule intended this request to arrive — latency is
+ * measured from it, so queueing delay (including time spent blocked
+ * in submit() backpressure) is charged to the request and coordinated
+ * omission cannot hide a pause.
+ */
+struct Request
+{
+    uint64_t id = 0;
+    OpKind op = OpKind::Get;
+    uint64_t key = 0;
+    uint64_t intendedNs = 0;
+};
+
+/** What the server reports back per completed request. */
+struct Response
+{
+    uint64_t id = 0;
+    OpKind op = OpKind::Get;
+    /** Get/Rmw: whether the key was present. Set: always true. */
+    bool hit = true;
+    /** completion − intended arrival (0 if the clock read raced). */
+    uint64_t latencyNs = 0;
+};
+
+/** Server tuning. */
+struct ServerConfig
+{
+    /** Worker threads == store shards. */
+    int workers = 4;
+    /** Per-worker queue bound; submit() blocks when full. */
+    size_t queueCapacity = 1024;
+    /** Value payload size for Set, and for populate(). */
+    size_t valueSize = 300;
+    /** Per-shard MiniKv maxmemory (LRU eviction); 0 = unbounded. */
+    size_t maxMemoryPerShard = 0;
+};
+
+/**
+ * The thread-pool server.
+ *
+ * Threading contract: submit() may be called from any number of
+ * producer threads (registered or not — a registered submitter's
+ * backpressure wait happens in external mode so it can never stall a
+ * barrier). start()/stop() are for the owning thread; stop() is
+ * idempotent and drains all queued requests before joining. The
+ * completion handler runs on worker threads, possibly concurrently
+ * with itself. populate()/fragmentEvenKeys()/clearStores() touch the
+ * stores without locking and must run while the workers are stopped,
+ * from a registered thread.
+ */
+class Server
+{
+  public:
+    using Store = kv::MiniKv<kv::AlaskaAlloc>;
+    using CompletionFn = std::function<void(const Response &)>;
+
+    Server(Runtime &runtime, ServerConfig config = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Install the per-completion hook (e.g. SloTracker::record).
+     *  Call before start(). */
+    void setCompletionHandler(CompletionFn fn);
+
+    /** Launch the worker threads. Call once per stop(). */
+    void start();
+
+    /**
+     * Graceful shutdown: refuse new submits, drain every queued
+     * request, join the workers. Idempotent; any thread.
+     */
+    void stop();
+
+    /**
+     * Enqueue a request on its shard owner's queue. Blocks while the
+     * queue is full (backpressure; counted in serve_backpressure and,
+     * because latency runs from intendedNs, charged to the requests
+     * behind the block). @return false iff the server is stopping —
+     * the request was not enqueued.
+     */
+    bool submit(const Request &request);
+
+    /** Requests accepted by submit() so far. Any thread. */
+    uint64_t submitted() const;
+
+    /** Requests fully executed (completion handler run) so far. */
+    uint64_t completed() const;
+
+    /** Requests currently queued across all workers. Any thread. */
+    size_t queueDepth() const;
+
+    /** Requests executed by a worker that stole them. Any thread. */
+    uint64_t steals() const;
+
+    /** submit() calls that had to wait on a full queue. Any thread. */
+    uint64_t backpressureWaits() const;
+
+    /** Store shard a key routes to. */
+    size_t shardOf(uint64_t key) const;
+
+    /** Number of store shards (== workers). */
+    size_t shardCount() const { return shards_.size(); }
+
+    /** Direct access to a shard's store — only while stopped, from a
+     *  registered thread (load/verify phases). */
+    Store &shard(size_t i) { return *shards_[i]->store; }
+
+    /** Aggregate KvStats over all shards (keys, memory, evictions).
+     *  Only while stopped. */
+    kv::KvStats storeStats() const;
+
+    /** The deterministic value payload for a record id (what Set
+     *  writes and populate() loads; ycsb::Workload::valueFor). */
+    std::string valueFor(uint64_t id) const;
+
+    /**
+     * Load records [0, records) into their shards. Must run while
+     * stopped, from a registered thread.
+     */
+    void populate(uint64_t records);
+
+    /**
+     * Delete every even record id in [0, records) — the standard way
+     * the harnesses fragment the heap (half of every sub-heap becomes
+     * holes) before defrag runs. Same contract as populate().
+     */
+    void fragmentEvenKeys(uint64_t records);
+
+    /** Drop every shard's contents. Same contract as populate(); the
+     *  destructor calls it as a fallback, which is only safe under
+     *  the Direct discipline (no daemon declaring campaigns). */
+    void clearStores();
+
+  private:
+    /** One worker's bounded queue (mutex + two cv sides). */
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::condition_variable notEmpty;
+        std::condition_variable notFull;
+        std::deque<Request> queue;
+    };
+
+    /** One store shard and the lock a thief must take to touch it. */
+    struct Shard
+    {
+        std::mutex mutex;
+        std::unique_ptr<Store> store;
+    };
+
+    void workerMain(size_t index);
+    bool popFrom(size_t index, Request &out, bool stolen);
+    void execute(const Request &request);
+
+    Runtime &runtime_;
+    ServerConfig config_;
+    kv::AlaskaAlloc alloc_;
+    /** Value-payload generator (valueFor is const and thread-safe). */
+    ycsb::Workload valueGen_;
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::thread> threads_;
+    CompletionFn completion_;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> steals_{0};
+    std::atomic<uint64_t> backpressure_{0};
+    std::atomic<size_t> totalQueued_{0};
+};
+
+} // namespace alaska::serve
+
+#endif // ALASKA_SERVE_SERVER_H

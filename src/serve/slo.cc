@@ -1,0 +1,60 @@
+#include "serve/slo.h"
+
+namespace alaska::serve
+{
+
+void
+SloTracker::record(const Response &response)
+{
+    perOpNs_[static_cast<size_t>(response.op)].record(
+        response.latencyNs);
+    windowedNs_.record(response.latencyNs);
+}
+
+telemetry::WindowSummary
+SloTracker::closeWindow(
+    const uint64_t (&mechWork)[anchorage::kNumMechanisms])
+{
+    const telemetry::WindowSummary s = windowedNs_.rotate();
+    std::lock_guard<std::mutex> lock(mutex_);
+    totals_.windows++;
+    if (s.count == 0)
+        return s; // an empty window cannot violate anything
+    const double p999Us = s.p999 / 1000.0;
+    if (p999Us > totals_.worstWindowP999Us)
+        totals_.worstWindowP999Us = p999Us;
+    if (p999Us <= config_.sloUs)
+        return s;
+    totals_.violated++;
+    bool anyWork = false;
+    for (size_t k = 0; k < anchorage::kNumMechanisms; k++) {
+        if (mechWork[k] > 0) {
+            totals_.violatedBy[k]++;
+            anyWork = true;
+        }
+    }
+    if (!anyWork)
+        totals_.violatedIdle++;
+    return s;
+}
+
+SloTracker::Totals
+SloTracker::totals() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totals_;
+}
+
+const telemetry::Histogram &
+SloTracker::opHistogram(OpKind op) const
+{
+    return perOpNs_[static_cast<size_t>(op)];
+}
+
+double
+SloTracker::opPercentileUs(OpKind op, double p) const
+{
+    return opHistogram(op).percentile(p) / 1000.0;
+}
+
+} // namespace alaska::serve

@@ -38,6 +38,8 @@ counterName(Counter c)
     case Counter::CampaignRecoveredBytes:
         return "campaign_recovered_bytes";
     case Counter::MeshRecoveredBytes: return "mesh_recovered_bytes";
+    case Counter::ServeSteal: return "serve_steal";
+    case Counter::ServeBackpressure: return "serve_backpressure";
     case Counter::kCount: break;
     }
     return "unknown";
@@ -48,6 +50,7 @@ gaugeName(Gauge g)
 {
     switch (g) {
     case Gauge::BatchBytesCurrent: return "batch_bytes_current";
+    case Gauge::ServeQueueDepth: return "serve_queue_depth";
     case Gauge::kCount: break;
     }
     return "unknown";

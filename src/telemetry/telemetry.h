@@ -73,6 +73,8 @@ enum class Counter : uint32_t {
     StwRecoveredBytes,      ///< bytes recovered by stop-the-world passes
     CampaignRecoveredBytes, ///< bytes recovered by concurrent campaigns
     MeshRecoveredBytes,     ///< bytes recovered by page meshing
+    ServeSteal,       ///< serve worker stole a request from another queue
+    ServeBackpressure, ///< serve submits that waited on a full queue
     kCount
 };
 
@@ -108,6 +110,7 @@ const char *histName(Hist h);
  */
 enum class Gauge : uint32_t {
     BatchBytesCurrent, ///< controller's current per-barrier byte bound
+    ServeQueueDepth,   ///< requests queued across all serve workers
     kCount
 };
 
